@@ -1,0 +1,43 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper: it runs
+the experiment on the simulated systems, prints the same rows/series
+the paper reports (visible with ``-s``), writes them to
+``benchmarks/results/``, and asserts the figure's *shape* — who wins,
+by roughly what factor — so a regression in the reproduction fails the
+suite.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.harness.report import format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_figure():
+    """Save + print a figure's rows; returns the formatted text."""
+
+    def _record(name: str, rows, title: str, columns=None) -> str:
+        text = format_table(rows, columns=columns, title=title)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}")
+        return text
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark.
+
+    The experiments are deterministic simulations — their cost is host
+    time, not noise — so a single round is both sufficient and honest.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              iterations=1, rounds=1)

@@ -1,0 +1,69 @@
+"""Beyond-paper benchmark: the full design spectrum of Table 1.
+
+Fork latency and per-process memory for a minimal process across all
+four implemented designs — μFork (true SAS), Iso-Unik-like (page tables
+retrofitted into a unikernel), CheriBSD-like (monolithic), and
+Nephele-like (VM clone).  The paper measures three of these (Fig 8);
+the Iso-Unik point interpolates the design space exactly where §2.3's
+qualitative argument predicts: keeping page tables costs more than
+μFork everywhere, even without traps.
+"""
+
+from conftest import run_once
+
+from repro.apps.guest import GuestContext
+from repro.apps.hello import hello_world_image
+from repro.baselines import IsoUnikOS, MonolithicOS, VMCloneOS
+from repro.core import UForkOS
+from repro.machine import Machine
+from repro.mem.layout import MiB
+
+NS_PER_US = 1_000
+
+SYSTEMS = (
+    ("ufork", UForkOS),
+    ("isounik", IsoUnikOS),
+    ("cheribsd", MonolithicOS),
+    ("nephele", VMCloneOS),
+)
+
+
+def run_spectrum():
+    rows = []
+    for name, os_cls in SYSTEMS:
+        os_ = os_cls(machine=Machine())
+        parent = GuestContext(os_, os_.spawn(hello_world_image(), "hello"))
+        warm = parent.fork()
+        warm.exit(0)
+        parent.wait(warm.pid)
+        with os_.machine.clock.measure() as watch:
+            child = parent.fork()
+        memory = os_.memory_of(child.proc)
+        child.exit(0)
+        parent.wait(child.pid)
+        rows.append({
+            "system": name,
+            "fork_latency_us": watch.elapsed_ns / NS_PER_US,
+            "memory_mb": memory / MiB,
+        })
+    return rows
+
+
+def test_baseline_spectrum(benchmark, record_figure):
+    rows = run_once(benchmark, run_spectrum)
+    record_figure(
+        "baseline_spectrum", rows,
+        "Design spectrum: fork latency and memory across all 4 systems",
+    )
+    by_system = {row["system"]: row for row in rows}
+    latency = [by_system[name]["fork_latency_us"]
+               for name, _ in SYSTEMS]
+    # strict ordering along the design spectrum
+    assert latency == sorted(latency)
+    # and μFork vs the interpolated point: page tables alone (no traps,
+    # no libs) already cost ~2x
+    assert by_system["isounik"]["fork_latency_us"] > \
+        1.5 * by_system["ufork"]["fork_latency_us"]
+    # memory: VM clone is the outlier by an order of magnitude
+    assert by_system["nephele"]["memory_mb"] > \
+        4 * by_system["cheribsd"]["memory_mb"]

@@ -1,0 +1,26 @@
+"""Figure 3: Redis DB overall save times (ms), μFork vs CheriBSD.
+
+Paper: μFork is 1.9× faster at 100 KB (1.8 vs 3.4 ms) and 1.4× faster
+at 100 MB (109 vs 158 ms) — μFork wins across the whole sweep, with
+the gap narrowing as serialization dominates.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import DEFAULT_DB_SIZES, fig3_redis_save
+
+
+def test_fig3_redis_save(benchmark, record_figure):
+    rows = run_once(benchmark, fig3_redis_save, sizes=DEFAULT_DB_SIZES)
+    record_figure(
+        "fig3_redis_save", rows,
+        "Figure 3: Redis DB overall save times (ms)",
+    )
+    for row in rows:
+        # μFork wins at every database size
+        assert row["ufork_ms"] < row["cheribsd_ms"]
+        # and by a sane factor (paper: 1.4-1.9x)
+        assert 1.0 < row["speedup"] < 4.0
+    # the absolute save time grows with database size
+    times = [row["ufork_ms"] for row in rows]
+    assert times == sorted(times)

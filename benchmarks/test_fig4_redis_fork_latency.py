@@ -1,0 +1,36 @@
+"""Figure 4: Redis fork latency (μs) vs database size.
+
+Paper: μFork is consistently 5-10× faster than CheriBSD; CoPA reduces
+fork latency by up to 89× vs a synchronous full copy and up to 1.18×
+vs CoA; TOCTTOU protection costs ~2.6% at 100 MB.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import DEFAULT_DB_SIZES, fig4_redis_fork_latency
+
+
+def test_fig4_redis_fork_latency(benchmark, record_figure):
+    rows = run_once(benchmark, fig4_redis_fork_latency,
+                    sizes=DEFAULT_DB_SIZES)
+    record_figure(
+        "fig4_redis_fork_latency", rows,
+        "Figure 4: Redis fork latency (us)",
+    )
+    for row in rows:
+        # μFork (any lazy strategy) beats the monolithic fork
+        assert row["ufork_copa_us"] < row["cheribsd_us"]
+        # strategy ordering: CoPA <= CoA << full synchronous copy
+        assert row["ufork_copa_us"] <= row["ufork_coa_us"]
+        assert row["ufork_full_us"] > 3 * row["ufork_coa_us"]
+        # TOCTTOU protections do not meaningfully affect fork latency
+        assert row["ufork_tocttou_us"] < row["ufork_copa_us"] * 1.1
+
+    # the full-copy latency scales with the database, CoPA barely moves
+    first, last = rows[0], rows[-1]
+    full_growth = last["ufork_full_us"] / first["ufork_full_us"]
+    copa_growth = last["ufork_copa_us"] / first["ufork_copa_us"]
+    assert full_growth > 2 * copa_growth
+
+    # CheriBSD's fork cost grows with mapped pages
+    assert last["cheribsd_us"] > first["cheribsd_us"]

@@ -1,0 +1,35 @@
+"""Figure 5: memory consumed by the forked Redis process (MB).
+
+Paper @100 MB database: CoPA 6 MB, CoA 101 MB, full copy 144 MB,
+CheriBSD 56 MB.  The ordering CoPA << CheriBSD < CoA < full and the
+proportionality to database size are the reproduced shape.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import DEFAULT_DB_SIZES, fig5_redis_memory
+from repro.mem.layout import MiB
+
+
+def test_fig5_redis_memory(benchmark, record_figure):
+    rows = run_once(benchmark, fig5_redis_memory, sizes=DEFAULT_DB_SIZES)
+    record_figure(
+        "fig5_redis_memory", rows,
+        "Figure 5: Redis forked-process memory consumption (MB)",
+    )
+    for row in rows:
+        db_mb = row["db_size"] / MiB
+        # CoPA shares everything the child does not rewrite: tiny
+        assert row["ufork_copa_mb"] < row["ufork_coa_mb"]
+        # CoA copies everything the child reads: ~ the database
+        assert row["ufork_coa_mb"] >= 0.8 * db_mb
+        # full copy duplicates the whole static heap: > the database
+        assert row["ufork_full_mb"] > row["ufork_coa_mb"]
+
+    # at the largest size, CoPA's consumption is a small fraction of the
+    # database while CheriBSD's allocator keeps it around half (paper:
+    # 6 vs 56 MB at a 100 MB database)
+    last = rows[-1]
+    db_mb = last["db_size"] / MiB
+    assert last["ufork_copa_mb"] < 0.25 * db_mb
+    assert 0.3 * db_mb < last["cheribsd_mb"] < 0.9 * db_mb

@@ -1,0 +1,40 @@
+"""Figure 7: Nginx throughput with 1-3 workers.
+
+Paper: restricted to a single core, μFork serves 9% more requests than
+CheriBSD; μFork gains 15.6% going from 1 to 3 workers on one core
+(workers yield during I/O); CheriBSD unrestricted wins by scaling over
+multiple cores; TOCTTOU protection costs 6.5% on average.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig7_nginx_throughput
+
+
+def test_fig7_nginx_throughput(benchmark, record_figure):
+    rows = run_once(benchmark, fig7_nginx_throughput,
+                    worker_counts=(1, 2, 3))
+    record_figure(
+        "fig7_nginx_throughput", rows,
+        "Figure 7: Nginx throughput (requests/s)",
+    )
+    by_workers = {row["workers"]: row for row in rows}
+
+    # single-core, single-worker: μFork ahead of CheriBSD (paper: +9%)
+    advantage = (by_workers[1]["ufork_1core_per_s"]
+                 / by_workers[1]["cheribsd_1core_per_s"]) - 1
+    assert 0.03 < advantage < 0.25
+
+    # more workers help even on one core (paper: +15.6% from 1 to 3)
+    gain = (by_workers[3]["ufork_1core_per_s"]
+            / by_workers[1]["ufork_1core_per_s"]) - 1
+    assert 0.05 < gain < 0.35
+
+    # CheriBSD free to use multiple cores wins (paper's expected result)
+    assert by_workers[3]["cheribsd_multicore_per_s"] > \
+        by_workers[3]["ufork_1core_per_s"]
+
+    # TOCTTOU cost on this syscall-heavy workload (paper: 6.5%)
+    cost = 1 - (by_workers[1]["ufork_tocttou_1core_per_s"]
+                / by_workers[1]["ufork_1core_per_s"])
+    assert 0.02 < cost < 0.15

@@ -1,0 +1,42 @@
+"""Figure 8: fork latency and memory usage for a minimal (hello world)
+process: μFork vs CheriBSD vs Nephele.
+
+Paper: 54 μs vs 197 μs vs 10.7 ms fork latency (3.7× / 198×), and
+0.13 MB vs 0.29 MB vs 1.6 MB per-process memory (2.2× / 12.3×).
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig8_hello_fork
+
+
+def test_fig8_hello_fork(benchmark, record_figure):
+    rows = run_once(benchmark, fig8_hello_fork)
+    record_figure(
+        "fig8_hello_fork", rows,
+        "Figure 8: hello-world fork latency (us) and memory (MB)",
+    )
+    by_system = {row["system"]: row for row in rows}
+
+    ufork = by_system["ufork"]
+    cheribsd = by_system["cheribsd"]
+    nephele = by_system["nephele"]
+
+    # latency: μFork < CheriBSD < Nephele, by the paper's factors
+    assert ufork["fork_latency_us"] < cheribsd["fork_latency_us"]
+    assert cheribsd["fork_latency_us"] < nephele["fork_latency_us"]
+    factor_cheribsd = cheribsd["fork_latency_us"] / ufork["fork_latency_us"]
+    factor_nephele = nephele["fork_latency_us"] / ufork["fork_latency_us"]
+    assert 2.0 < factor_cheribsd < 8.0      # paper: 3.7x
+    assert 80.0 < factor_nephele < 500.0    # paper: 198x
+
+    # calibration sanity: within 2x of the paper's absolute numbers
+    assert 27 < ufork["fork_latency_us"] < 108          # paper: 54
+    assert 100 < cheribsd["fork_latency_us"] < 400      # paper: 197
+    assert 5_000 < nephele["fork_latency_us"] < 22_000  # paper: 10,700
+
+    # memory: same ordering, order-of-magnitude factors
+    assert ufork["memory_mb"] < cheribsd["memory_mb"] < nephele["memory_mb"]
+    assert nephele["memory_mb"] / ufork["memory_mb"] > 5   # paper: 12.3x
+    assert 0.05 < ufork["memory_mb"] < 0.3                 # paper: 0.13
+    assert 1.0 < nephele["memory_mb"] < 2.5                # paper: 1.6

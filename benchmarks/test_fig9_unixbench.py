@@ -1,0 +1,33 @@
+"""Figure 9: Unixbench Spawn (1000 fork+exit) and Context1 (pipe
+ping-pong to 100k) execution times.
+
+Paper: Spawn 56 ms (μFork) vs 198 ms (CheriBSD); Context1 245 ms vs
+419 ms — the single address space wins on both fork cost and IPC.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig9_unixbench
+
+
+def test_fig9_unixbench(benchmark, record_figure):
+    rows = run_once(benchmark, fig9_unixbench, measured_fraction=0.05)
+    record_figure(
+        "fig9_unixbench", rows,
+        "Figure 9: Unixbench Spawn and Context1 execution time (ms)",
+    )
+    by_system = {row["system"]: row for row in rows}
+    ufork = by_system["ufork"]
+    cheribsd = by_system["cheribsd"]
+
+    # Spawn: μFork several times faster (paper: 3.5x)
+    assert ufork["spawn_ms"] < cheribsd["spawn_ms"]
+    assert 2.0 < cheribsd["spawn_ms"] / ufork["spawn_ms"] < 6.0
+    assert 28 < ufork["spawn_ms"] < 112         # paper: 56
+    assert 100 < cheribsd["spawn_ms"] < 400     # paper: 198
+
+    # Context1: trapless syscalls + no TLB flushes win (paper: 1.7x)
+    assert ufork["context1_ms"] < cheribsd["context1_ms"]
+    assert 1.2 < cheribsd["context1_ms"] / ufork["context1_ms"] < 2.6
+    assert 120 < ufork["context1_ms"] < 500     # paper: 245
+    assert 210 < cheribsd["context1_ms"] < 840  # paper: 419

@@ -1,0 +1,88 @@
+"""Sensitivity of μFork's costs to the CHERI-specific hardware prices.
+
+Paper §5 notes that the Morello prototype's pure-capability overheads
+are largely micro-architectural and that "the majority of these
+overheads can be eliminated in future hardware implementations,
+reducing the overhead to a negligible level (1.8-3%)".  This benchmark
+sweeps the capability-specific cost constants (tag scan, capability
+rewrite, capability-load fault) between today's calibration and a
+projected future core, and reports how μFork's headline latencies move.
+"""
+
+from conftest import run_once
+
+from repro.apps.guest import GuestContext
+from repro.apps.hello import hello_world_image
+from repro.apps.redis import MiniRedis, populate, redis_image
+from repro.core import CopyStrategy, UForkOS
+from repro.machine import Machine
+from repro.params import CostModel
+from repro.mem.layout import KiB, MiB
+
+NS_PER_US = 1_000
+
+#: scale factors for the capability-specific constants: 1.0 = today's
+#: Morello calibration; 0.25 ~ the projected mature implementation
+SCALES = (1.0, 0.5, 0.25)
+
+
+def scaled_costs(factor: float) -> CostModel:
+    base = CostModel.morello()
+    return base.scaled(
+        tag_scan_ns_per_granule=base.tag_scan_ns_per_granule * factor,
+        cap_relocate_ns=base.cap_relocate_ns * factor,
+        page_fault_ns=base.page_fault_ns * (0.6 + 0.4 * factor),
+    )
+
+
+def run_sensitivity():
+    rows = []
+    for factor in SCALES:
+        machine_costs = scaled_costs(factor)
+
+        # hello-world fork latency
+        os_ = UForkOS(machine=Machine(costs=machine_costs))
+        ctx = GuestContext(os_, os_.spawn(hello_world_image(), "hello"))
+        warm = ctx.fork()
+        warm.exit(0)
+        ctx.wait(warm.pid)
+        with os_.machine.clock.measure() as fork_watch:
+            child = ctx.fork()
+        child.exit(0)
+        ctx.wait(child.pid)
+
+        # Redis CoPA snapshot (relocation-heavy path)
+        os2 = UForkOS(machine=Machine(costs=machine_costs),
+                      copy_strategy=CopyStrategy.COPA)
+        proc = os2.spawn(redis_image(2 * MiB), "redis")
+        store = MiniRedis(GuestContext(os2, proc), nbuckets=128)
+        populate(store, 1 * MiB, value_size=100 * KiB)
+        metrics = store.bgsave("/d.rdb")
+
+        rows.append({
+            "cap_cost_scale": factor,
+            "hello_fork_us": fork_watch.elapsed_ns / NS_PER_US,
+            "redis_fork_us": metrics.fork_latency_ns / NS_PER_US,
+            "redis_save_ms": metrics.save_total_ns / 1e6,
+        })
+    return rows
+
+
+def test_sensitivity_to_capability_costs(benchmark, record_figure):
+    rows = run_once(benchmark, run_sensitivity)
+    record_figure(
+        "sensitivity_cap_costs", rows,
+        "Sensitivity: capability-hardware cost scale vs μFork latencies",
+    )
+    by_scale = {row["cap_cost_scale"]: row for row in rows}
+
+    # cheaper capability hardware monotonically improves every metric
+    for metric in ("hello_fork_us", "redis_fork_us", "redis_save_ms"):
+        series = [by_scale[s][metric] for s in SCALES]
+        assert series == sorted(series, reverse=True)
+
+    # but fork latency is dominated by fixed kernel work, so the swing
+    # stays bounded — the design does not live or die by tag-scan speed
+    swing = (by_scale[1.0]["hello_fork_us"]
+             / by_scale[0.25]["hello_fork_us"])
+    assert 1.0 < swing < 1.6

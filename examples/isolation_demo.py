@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Isolation in μFork: what an attacker-controlled μprocess cannot do.
+
+Walks the paper's isolation mechanisms (§4.3, §4.4) as live checks:
+capability confinement, kernel memory protection, sealed syscall
+gates, privileged-instruction gating, and the parameterized isolation
+levels with their costs.
+
+Run:  python examples/isolation_demo.py
+"""
+
+from repro import GuestContext, IsolationConfig, Machine, UForkOS
+from repro.apps.hello import hello_world_image
+from repro.cheri.capability import Capability, Perm
+from repro.cheri.regfile import DDC
+from repro.core.isolation import check_privileged
+from repro.core.ufork import KERNEL_BASE
+from repro.errors import (
+    BoundsFault,
+    IsolationViolation,
+    MonotonicityFault,
+    PrivilegeViolation,
+    ProtectionError,
+)
+
+
+def expect(exc_type, action, description: str) -> None:
+    try:
+        action()
+    except exc_type as exc:
+        print(f"  BLOCKED ({exc_type.__name__}): {description}")
+        print(f"          {exc}")
+    else:
+        raise AssertionError(f"{description} was NOT blocked!")
+
+
+def main() -> None:
+    os_ = UForkOS(machine=Machine(), isolation=IsolationConfig.full())
+    victim = GuestContext(os_, os_.spawn(hello_world_image(), "victim"))
+    attacker = GuestContext(os_, os_.spawn(hello_world_image(), "attacker"))
+    ddc = attacker.reg(DDC)
+
+    print("1. μprocesses cannot reach each other's memory:")
+    expect(
+        BoundsFault,
+        lambda: ddc.check_access(Perm.LOAD, size=8,
+                                 addr=victim.proc.region_base),
+        "attacker dereferencing an address in the victim's region",
+    )
+
+    print("\n2. capability monotonicity: authority can only shrink:")
+    expect(
+        MonotonicityFault,
+        lambda: ddc.set_bounds(0, os_.machine.config.va_size),
+        "attacker widening its region capability to the whole space",
+    )
+
+    print("\n3. kernel memory is unmapped for user access:")
+    expect(
+        ProtectionError,
+        lambda: os_.space.read(KERNEL_BASE, 8),
+        "user-mode read of kernel memory",
+    )
+
+    print("\n4. kernel entry only via the sealed sentry gate:")
+    forged = Capability(base=KERNEL_BASE, length=16, cursor=KERNEL_BASE,
+                        perms=Perm.code())
+    expect(
+        IsolationViolation,
+        lambda: os_.syscall(attacker.proc, "getpid", gate=forged),
+        "syscall through a forged (unsealed) gate capability",
+    )
+
+    print("\n5. privileged instructions require the SYSTEM permission:")
+    expect(
+        PrivilegeViolation,
+        lambda: check_privileged(ddc, "msr"),
+        "attacker executing an MSR-class system instruction",
+    )
+
+    print("\n6. parameterized isolation (R4) — same syscall, three costs:")
+    for level_name, config in (
+        ("none ", IsolationConfig.none()),
+        ("fault", IsolationConfig.fault()),
+        ("full ", IsolationConfig.full()),
+    ):
+        level_os = UForkOS(machine=Machine(), isolation=config)
+        ctx = GuestContext(level_os,
+                           level_os.spawn(hello_world_image(), "p"))
+        from repro.kernel.vfs import O_CREAT, O_WRONLY
+        fd = ctx.syscall("open", "/f", O_CREAT | O_WRONLY)
+        with level_os.machine.clock.measure() as watch:
+            ctx.write_bytes(fd, b"y" * 4096)
+        print(f"  isolation={level_name}: 4 KB write costs "
+              f"{watch.elapsed_us:.2f} us")
+    print("\nDeployments pick their point on the isolation/performance "
+          "curve (Redis: none, Nginx: fault, qmail: full).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Nginx multi-worker deployment: fork for concurrency.
+
+Reproduces the paper's Nginx use-case (U5): the master forks long-
+lived workers that share the listening socket and serve requests.
+Shows a real request flowing through the simulated socket stack, then
+the modeled worker-count throughput of Fig 7.
+
+Run:  python examples/nginx_workers.py
+"""
+
+from repro import GuestContext, Machine, UForkOS
+from repro.apps.nginx import MiniNginx, WrkClient, nginx_image
+from repro.harness.experiments import fig7_nginx_throughput
+from repro.harness.report import print_table
+
+
+def main() -> None:
+    os_ = UForkOS(machine=Machine())
+    master = GuestContext(os_, os_.spawn(nginx_image(), "nginx"))
+    server = MiniNginx(master)
+    workers = server.fork_workers(3)
+    print(f"master pid={master.pid} forked "
+          f"{len(workers)} workers: {[w.pid for w in workers]}")
+    print("workers inherited the listening socket via the duplicated "
+          "fd table\n")
+
+    wrk = WrkClient(GuestContext(os_, os_.spawn(nginx_image(), "wrk")))
+    for index, worker in enumerate(workers):
+        fd = wrk.issue()
+        stats = server.serve_one(worker)
+        response = wrk.complete(fd)
+        print(f"worker {worker.pid} served request {index}: "
+              f"{len(response)}B response, "
+              f"{stats.cpu_ns / 1000:.1f} us cpu + "
+              f"{stats.io_wait_ns / 1000:.1f} us io wait")
+
+    server.shutdown()
+    print("\nworkers reaped; modeled throughput (Fig 7):")
+    print_table(fig7_nginx_throughput())
+    print("\nExtra workers help even on one core — they yield during "
+          "device I/O (paper: +15.6% from 1 to 3 workers).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Redis BGSAVE on μFork: fork-based snapshots with CoW/CoA/CoPA.
+
+Reproduces the paper's Redis use-case (U2 + U4): the parent keeps
+serving writes while a forked child serializes a point-in-time
+snapshot to the ram-disk.  Compares the three copy strategies.
+
+Run:  python examples/redis_snapshot.py
+"""
+
+from repro import CopyStrategy, GuestContext, IsolationConfig, Machine, UForkOS
+from repro.apps.redis import MiniRedis, populate, redis_image
+from repro.mem.layout import KiB, MiB
+
+
+def run_strategy(strategy: CopyStrategy) -> None:
+    os_ = UForkOS(
+        machine=Machine(),
+        copy_strategy=strategy,
+        isolation=IsolationConfig.fault(),
+    )
+    db_bytes = 4 * MiB
+    store = MiniRedis(
+        GuestContext(os_, os_.spawn(redis_image(db_bytes), "redis")),
+        nbuckets=256,
+    )
+    populate(store, db_bytes, value_size=100 * KiB)
+
+    # the snapshot: fork + child serializes while the parent mutates
+    metrics = store.bgsave("/dump.rdb")
+
+    # the parent served this write *during* the conceptual save window;
+    # the snapshot must not contain it
+    store.set(b"written-after-fork", b"not in the snapshot")
+
+    dump = MiniRedis.parse_dump(
+        bytes(os_.ramdisk.open("/dump.rdb").node.data)
+    )
+    assert b"written-after-fork" not in dump
+    assert len(dump) == store.size() - 1
+
+    print(f"{strategy.value:>9}: fork latency "
+          f"{metrics.fork_latency_ns / 1000:9.1f} us | "
+          f"child memory {metrics.child_extra_bytes / MiB:7.2f} MB | "
+          f"save total {metrics.save_total_ns / 1e6:7.2f} ms | "
+          f"{metrics.page_copies:5d} page copies")
+
+
+def main() -> None:
+    print("Redis BGSAVE (4 MB database, 100 KB values) under each "
+          "μFork copy strategy:\n")
+    for strategy in (CopyStrategy.FULL_COPY, CopyStrategy.COA,
+                     CopyStrategy.COPA):
+        run_strategy(strategy)
+    print("\nCoPA shares everything the child only *reads*, copying "
+          "just the pages it loads capabilities from — the paper's "
+          "headline memory win (Fig 5).")
+
+
+if __name__ == "__main__":
+    main()

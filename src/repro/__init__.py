@@ -1,0 +1,52 @@
+"""Reproduction of *uFork: Supporting POSIX fork Within a
+Single-Address-Space OS* (SOSP 2025).
+
+Public API
+==========
+
+The system under study:
+
+* :class:`UForkOS` -- the single-address-space OS with uFork
+* :class:`CopyStrategy` -- FULL_COPY / COA / COPA (paper 3.8)
+* :class:`IsolationLevel` / :class:`IsolationConfig` -- parameterized
+  isolation (paper 3.6)
+
+Baselines (paper 5):
+
+* :class:`MonolithicOS` -- CheriBSD-like multi-address-space fork
+* :class:`VMCloneOS` -- Nephele-like hypervisor VM-clone fork
+* :class:`IsoUnikOS` -- Iso-Unik-like page-tables-in-a-unikernel fork
+
+Infrastructure:
+
+* :class:`Machine` -- the simulated Morello-like machine (clock, tagged
+  memory, cost model)
+* :class:`GuestContext` -- the OS-agnostic user-space programming API
+* :class:`MachineConfig` / :class:`CostModel` -- configuration surfaces
+
+Workloads live in :mod:`repro.apps`; per-figure experiments in
+:mod:`repro.harness`.
+"""
+
+from repro.apps.guest import GuestContext
+from repro.baselines import IsoUnikOS, MonolithicOS, VMCloneOS
+from repro.core import CopyStrategy, IsolationConfig, IsolationLevel, UForkOS
+from repro.machine import Machine
+from repro.params import CostModel, MachineConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CopyStrategy",
+    "CostModel",
+    "GuestContext",
+    "IsolationConfig",
+    "IsolationLevel",
+    "Machine",
+    "MachineConfig",
+    "IsoUnikOS",
+    "MonolithicOS",
+    "UForkOS",
+    "VMCloneOS",
+    "__version__",
+]

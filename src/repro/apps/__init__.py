@@ -1,0 +1,31 @@
+"""Guest applications: the workloads the paper evaluates.
+
+Each application is written against :class:`~repro.apps.guest.GuestContext`,
+the OS-agnostic user-space API, and keeps its mutable state in simulated
+guest memory — so running one across a fork genuinely exercises μFork's
+relocation and copy strategies.
+"""
+
+from repro.apps.guest import GuestContext
+from repro.apps.hello import hello_world_image, run_hello
+from repro.apps.redis import MiniRedis, redis_image
+from repro.apps.faas import ZygoteRuntime, faas_image, float_operation
+from repro.apps.nginx import MiniNginx, nginx_image
+from repro.apps.qmail import MiniQmail, qmail_image
+from repro.apps import unixbench
+
+__all__ = [
+    "GuestContext",
+    "hello_world_image",
+    "run_hello",
+    "MiniRedis",
+    "redis_image",
+    "ZygoteRuntime",
+    "faas_image",
+    "float_operation",
+    "MiniNginx",
+    "nginx_image",
+    "MiniQmail",
+    "qmail_image",
+    "unixbench",
+]

@@ -1,0 +1,146 @@
+"""Zygote-based FaaS worker warm-up (paper §5.1, Fig 6).
+
+A MicroPython-like language runtime is initialized once in a *zygote*
+μprocess — "imports" build a module table of capability-linked objects
+in guest memory — and every request is served by forking the zygote
+into a child that runs the function and exits.  Function throughput is
+therefore dominated by fork latency (the benchmark performs no I/O),
+which is exactly what Fig 6 measures.
+
+The function body is FunctionBench's ``float_operation``: a pure
+compute loop of float math.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any, List
+
+from repro.cheri.codec import CAP_SIZE
+from repro.mem.layout import KiB, MiB, ProgramImage
+
+#: register holding the module-table root across fork
+MODULES_REG = "c12"
+
+#: one warm "import": a module object with a name and a function table
+_MODULE_HEADER = struct.Struct("<QQ")
+
+#: float_operation's calibrated cost in abstract work units (≈ns):
+#: FunctionBench's default does on the order of 10^5 float ops.
+FLOAT_OPERATION_UNITS = 500_000
+
+#: other FunctionBench workloads: name -> (compute units, heap bytes
+#: touched).  matmul is compute+memory heavy; json_dumps allocates.
+FUNCTIONBENCH = {
+    "float_operation": (FLOAT_OPERATION_UNITS, 0),
+    "matmul": (2_500_000, 256 * KiB),
+    "json_dumps": (900_000, 64 * KiB),
+    "pyaes": (1_800_000, 16 * KiB),
+}
+
+
+def faas_image() -> ProgramImage:
+    """A MicroPython-like runtime image."""
+    return ProgramImage(
+        name="micropython",
+        code_size=320 * KiB,
+        rodata_size=96 * KiB,
+        data_size=64 * KiB,
+        got_entries=1024,
+        tls_size=16 * KiB,
+        heap_size=1 * MiB,
+        mmap_size=128 * KiB,
+        stack_size=128 * KiB,
+    )
+
+
+def float_operation(ctx: Any, scale: float = 1.0) -> None:
+    """FunctionBench ``float_operation``: pure compute, no syscalls."""
+    ctx.compute(FLOAT_OPERATION_UNITS * scale)
+
+
+def run_function(ctx: Any, name: str, scale: float = 1.0) -> None:
+    """Run any FunctionBench workload: compute plus (for the heavier
+    ones) a working set allocated and written in guest memory — which
+    is what makes the child's pages diverge and costs CoW breaks."""
+    try:
+        units, working_set = FUNCTIONBENCH[name]
+    except KeyError:
+        raise ValueError(f"unknown FunctionBench workload {name!r}")
+    ctx.compute(units * scale)
+    if working_set:
+        block = ctx.malloc(working_set)
+        page = ctx.os.machine.config.page_size
+        stamp = name.encode()
+        for offset in range(0, working_set, page):
+            ctx.store(block, stamp, offset)
+
+
+@dataclass
+class FunctionResult:
+    pid: int
+    modules_seen: int
+    ok: bool
+
+
+class ZygoteRuntime:
+    """The pre-warmed language runtime."""
+
+    def __init__(self, ctx: Any, module_count: int = 48) -> None:
+        self.ctx = ctx
+        self.module_count = module_count
+
+    def warm(self) -> None:
+        """Initialize the runtime once: load "modules" into guest memory
+        (the expensive part a cold start would repeat)."""
+        ctx = self.ctx
+        table = ctx.malloc(self.module_count * CAP_SIZE)
+        for index in range(self.module_count):
+            module = ctx.malloc(64)
+            name = b"module_%03d" % index
+            ctx.store(module, _MODULE_HEADER.pack(index, len(name)))
+            ctx.store(module, name, 16)
+            ctx.store_cap(table, module, index * CAP_SIZE)
+            # parsing/compiling the module costs real time
+            ctx.compute(20_000)
+        ctx.set_reg(MODULES_REG, table)
+
+    @classmethod
+    def attach(cls, ctx: Any) -> "ZygoteRuntime":
+        """Child-side: recover the module table via the relocated root."""
+        runtime = cls.__new__(cls)
+        runtime.ctx = ctx
+        table = ctx.reg(MODULES_REG)
+        runtime.module_count = table.length // CAP_SIZE
+        return runtime
+
+    def modules(self, limit: int = None) -> List[bytes]:
+        """Walk the module table (capability loads — the CoPA path)."""
+        ctx = self.ctx
+        table = ctx.reg(MODULES_REG)
+        names = []
+        count = self.module_count if limit is None \
+            else min(limit, self.module_count)
+        for index in range(count):
+            module = ctx.load_cap(table, index * CAP_SIZE)
+            _idx, name_len = _MODULE_HEADER.unpack(ctx.load(module, 16))
+            names.append(ctx.load(module, name_len, 16))
+        return names
+
+    def handle_request(self, scale: float = 1.0,
+                       function: str = "float_operation") -> FunctionResult:
+        """Serve one request: fork the zygote, run the function in the
+        child, reap it.  Returns the child's result."""
+        child_ctx = self.ctx.fork()
+        child_runtime = ZygoteRuntime.attach(child_ctx)
+        # touch a couple of modules (what an import reference does)
+        names = child_runtime.modules(limit=4)
+        run_function(child_ctx, function, scale)
+        child_ctx.exit(0)
+        self.ctx.wait(child_ctx.pid)
+        return FunctionResult(
+            pid=child_ctx.pid,
+            modules_seen=len(names),
+            ok=all(name.startswith(b"module_") for name in names),
+        )

@@ -1,0 +1,37 @@
+"""The minimal "hello world" program used by the Fig 8 microbenchmark.
+
+A tiny image (small heap, small stack); its run body does a trivial
+amount of work, stores a greeting on its heap, and exits — enough to
+verify the child is a working process without dominating fork cost.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.mem.layout import KiB, ProgramImage
+
+GREETING = b"hello, single address space!"
+
+
+def hello_world_image() -> ProgramImage:
+    """A minimal static binary."""
+    return ProgramImage(
+        name="hello",
+        code_size=16 * KiB,
+        rodata_size=4 * KiB,
+        data_size=4 * KiB,
+        got_entries=64,
+        tls_size=4 * KiB,
+        heap_size=64 * KiB,
+        mmap_size=16 * KiB,
+        stack_size=32 * KiB,
+    )
+
+
+def run_hello(ctx: Any) -> bytes:
+    """The program body: allocate, write, read back, return the bytes."""
+    buf = ctx.malloc(64)
+    ctx.store(buf, GREETING)
+    ctx.compute(500)  # a few hundred ns of "work"
+    return ctx.load(buf, len(GREETING))

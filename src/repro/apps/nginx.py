@@ -1,0 +1,160 @@
+"""MiniNginx: a multi-worker HTTP-ish server (paper §5.1, Fig 7).
+
+The master listens on a port and forks N long-lived workers that accept
+and serve requests concurrently (U5).  Request handling is a realistic
+syscall sequence — accept, recv, parse, send, close — so the per-request
+cost decomposes into CPU work and device (I/O) wait; the harness feeds
+that decomposition into the core-level event simulation to get
+multi-worker throughput, including the single-core "+workers still
+help because they yield during I/O" effect the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List
+
+from repro.mem.layout import KiB, MiB, ProgramImage
+
+DEFAULT_PORT = 80
+RESPONSE_BODY = b"X" * 1024
+RESPONSE_HEADER = (
+    b"HTTP/1.1 200 OK\r\ncontent-type: text/plain\r\n"
+    b"content-length: 1024\r\n\r\n"
+)
+REQUEST = b"GET /index.html HTTP/1.1\r\nhost: localhost\r\n\r\n"
+
+#: parse + route + build-response compute per request (abstract units)
+REQUEST_COMPUTE_UNITS = 34_000
+
+
+def nginx_image() -> ProgramImage:
+    return ProgramImage(
+        name="nginx",
+        code_size=256 * KiB,
+        rodata_size=64 * KiB,
+        data_size=64 * KiB,
+        got_entries=1024,
+        tls_size=16 * KiB,
+        heap_size=2 * MiB,
+        mmap_size=128 * KiB,
+        stack_size=64 * KiB,
+    )
+
+
+@dataclass
+class RequestStats:
+    """One served request, decomposed for the concurrency model."""
+
+    total_ns: int
+    io_wait_ns: int
+
+    @property
+    def cpu_ns(self) -> int:
+        return max(0, self.total_ns - self.io_wait_ns)
+
+
+class MiniNginx:
+    """Master process driver.
+
+    With ``docroot`` set, workers serve static files from the ram-disk
+    (open/read/close per request, like real nginx); otherwise they send
+    the canned response (the calibrated Fig 7 configuration).
+    """
+
+    def __init__(self, ctx: Any, port: int = DEFAULT_PORT,
+                 docroot: str = None) -> None:
+        self.ctx = ctx
+        self.port = port
+        self.docroot = docroot
+        self.listen_fd = ctx.syscall("listen", port)
+        self.workers: List[Any] = []
+
+    def publish(self, name: str, content: bytes) -> None:
+        """Write a file into the docroot (master-side setup)."""
+        from repro.kernel.vfs import O_CREAT, O_TRUNC, O_WRONLY
+        if self.docroot is None:
+            raise ValueError("no docroot configured")
+        if not self.ctx.os.ramdisk.exists(self.docroot):
+            self.ctx.syscall("mkdir", self.docroot)
+        fd = self.ctx.syscall("open", f"{self.docroot}/{name}",
+                              O_CREAT | O_TRUNC | O_WRONLY)
+        self.ctx.write_bytes(fd, content)
+        self.ctx.syscall("close", fd)
+
+    def fork_workers(self, count: int) -> List[Any]:
+        """Fork ``count`` worker μprocesses; they inherit the listening
+        socket through the duplicated fd table (the fork-for-concurrency
+        pattern, U2/U5)."""
+        for _ in range(count):
+            worker_ctx = self.ctx.fork()
+            self.workers.append(worker_ctx)
+        return self.workers
+
+    def serve_one(self, worker_ctx: Any) -> RequestStats:
+        """One worker serves one already-pending connection."""
+        machine = worker_ctx.os.machine
+        io_before = (machine.clock.bucket_ns("net_packet")
+                     + machine.clock.bucket_ns("net_syn"))
+        with machine.clock.measure() as watch:
+            conn_fd = worker_ctx.syscall("accept", self.listen_fd)
+            request = worker_ctx.recv_bytes(conn_fd, 4096)
+            assert request.startswith(b"GET "), "malformed request"
+            worker_ctx.compute(REQUEST_COMPUTE_UNITS)
+            body = self._body_for(worker_ctx, request)
+            header = (
+                b"HTTP/1.1 200 OK\r\ncontent-type: text/plain\r\n"
+                + b"content-length: %d\r\n\r\n" % len(body)
+            )
+            worker_ctx.send_bytes(conn_fd, header + body)
+            worker_ctx.syscall("close", conn_fd)
+        io_after = (machine.clock.bucket_ns("net_packet")
+                    + machine.clock.bucket_ns("net_syn"))
+        return RequestStats(total_ns=watch.elapsed_ns,
+                            io_wait_ns=io_after - io_before)
+
+    def _body_for(self, worker_ctx: Any, request: bytes) -> bytes:
+        """Canned body, or a real ram-disk read when a docroot is set."""
+        from repro.errors import FileNotFound
+        from repro.kernel.vfs import O_RDONLY
+        if self.docroot is None:
+            return RESPONSE_BODY
+        path = request.split(b" ", 2)[1].decode().lstrip("/")
+        full = f"{self.docroot}/{path}"
+        try:
+            size = worker_ctx.syscall("stat", full)
+            fd = worker_ctx.syscall("open", full, O_RDONLY)
+        except FileNotFound:
+            return b"404 not found"
+        body = worker_ctx.read_bytes(fd, size)
+        worker_ctx.syscall("close", fd)
+        return body
+
+    def shutdown(self) -> None:
+        for worker_ctx in self.workers:
+            if worker_ctx.proc.alive:
+                worker_ctx.exit(0)
+                self.ctx.wait(worker_ctx.pid)
+        self.workers.clear()
+
+
+class WrkClient:
+    """A wrk-like closed-loop client issuing requests from a separate
+    process (so server syscalls and client syscalls are distinct)."""
+
+    def __init__(self, ctx: Any, port: int = DEFAULT_PORT) -> None:
+        self.ctx = ctx
+        self.port = port
+
+    def issue(self) -> int:
+        """Open a connection and push one request; returns the fd (the
+        server accepts it afterwards)."""
+        fd = self.ctx.syscall("connect", self.port)
+        self.ctx.send_bytes(fd, REQUEST)
+        return fd
+
+    def complete(self, fd: int) -> bytes:
+        response = self.ctx.recv_bytes(fd, 4096)
+        assert response.startswith(b"HTTP/1.1 200"), "bad response"
+        self.ctx.syscall("close", fd)
+        return response

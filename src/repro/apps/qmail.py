@@ -1,0 +1,152 @@
+"""MiniQmail: a privilege-separated mail pipeline (paper U3).
+
+qmail is the paper's example of fork-for-privilege-separation (§2.1,
+§3.6): mutually distrusting components run as separate processes so a
+compromise of the network-facing parser cannot touch the trusted
+delivery agent or the mail store.
+
+The pipeline here:
+
+* **qmail-smtpd** — *untrusted*: forked from the master, parses raw
+  SMTP-ish input from a socket; runs with FULL isolation (argument
+  validation + TOCTTOU) because its input is attacker-controlled;
+* **queue** — a POSIX message queue carrying accepted messages;
+* **qmail-local** — *trusted*: forked from the master, drains the
+  queue and appends to per-user mailbox files on the ram-disk.
+
+The security property the tests assert: a malicious smtpd (modeling a
+compromised parser) cannot read the mail store, reach qmail-local's
+memory, or forge kernel entry — the μFork isolation story end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import WouldBlock
+from repro.mem.layout import KiB, ProgramImage
+
+SMTP_PORT = 25
+MAILDIR = "/var/mail"
+
+#: parse/validate cost per message (abstract units)
+PARSE_UNITS = 8_000
+DELIVER_UNITS = 3_000
+
+
+def qmail_image() -> ProgramImage:
+    return ProgramImage(
+        name="qmail",
+        code_size=96 * KiB,
+        rodata_size=32 * KiB,
+        data_size=16 * KiB,
+        got_entries=256,
+        tls_size=4 * KiB,
+        heap_size=256 * KiB,
+        mmap_size=64 * KiB,
+        stack_size=32 * KiB,
+    )
+
+
+@dataclass
+class Delivery:
+    user: bytes
+    body: bytes
+
+
+class MiniQmail:
+    """The master process: owns the listener and forks the components."""
+
+    def __init__(self, ctx: Any, port: int = SMTP_PORT) -> None:
+        self.ctx = ctx
+        self.port = port
+        self.listen_fd = ctx.syscall("listen", port)
+        self.queue = ctx.syscall("mq_open", "/qmail-queue")
+        self.smtpd: Optional[Any] = None
+        self.local: Optional[Any] = None
+
+    def start(self) -> None:
+        """Fork the privilege-separated components (U3)."""
+        self.ctx.syscall("mkdir", "/var")
+        self.ctx.syscall("mkdir", MAILDIR)
+        self.smtpd = self.ctx.fork()   # untrusted, network facing
+        self.local = self.ctx.fork()   # trusted, owns the mail store
+
+    # ------------------------------------------------------------------
+    # qmail-smtpd: untrusted input parsing
+    # ------------------------------------------------------------------
+
+    def smtpd_handle_one(self) -> Tuple[bool, bytes]:
+        """Accept a connection, parse one message, enqueue if valid.
+
+        Returns (accepted, reply)."""
+        smtpd = self.smtpd
+        conn_fd = smtpd.syscall("accept", self.listen_fd)
+        raw = smtpd.recv_bytes(conn_fd, 4096)
+        smtpd.compute(PARSE_UNITS)
+        accepted, reply, record = self._parse(raw)
+        if accepted:
+            smtpd.syscall("mq_send", self.queue, record)
+        smtpd.send_bytes(conn_fd, reply)
+        smtpd.syscall("close", conn_fd)
+        return accepted, reply
+
+    @staticmethod
+    def _parse(raw: bytes) -> Tuple[bool, bytes, bytes]:
+        """A deliberately strict parser: ``RCPT:<user>\\nDATA:<body>``."""
+        if not raw.startswith(b"RCPT:") or b"\nDATA:" not in raw:
+            return False, b"550 rejected\r\n", b""
+        header, body = raw.split(b"\nDATA:", 1)
+        user = header[len(b"RCPT:"):].strip()
+        if not user or not user.isalnum():
+            return False, b"550 bad mailbox\r\n", b""
+        return True, b"250 queued\r\n", user + b"\x00" + body
+
+    # ------------------------------------------------------------------
+    # qmail-local: trusted delivery
+    # ------------------------------------------------------------------
+
+    def local_deliver_all(self) -> List[Delivery]:
+        """Drain the queue into per-user mailbox files."""
+        from repro.kernel.vfs import O_APPEND, O_CREAT, O_WRONLY
+        local = self.local
+        delivered: List[Delivery] = []
+        while True:
+            try:
+                record = local.syscall("mq_receive", self.queue)
+            except WouldBlock:
+                break
+            user, body = record.split(b"\x00", 1)
+            local.compute(DELIVER_UNITS)
+            path = f"{MAILDIR}/{user.decode()}"
+            fd = local.syscall("open", path, O_CREAT | O_WRONLY | O_APPEND)
+            local.write_bytes(fd, body + b"\n---\n")
+            local.syscall("close", fd)
+            delivered.append(Delivery(user=user, body=body))
+        return delivered
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def mailbox(self, user: str) -> bytes:
+        """Read a user's mailbox (master/test view)."""
+        ramdisk = self.ctx.os.ramdisk
+        handle = ramdisk.open(f"{MAILDIR}/{user}")
+        return bytes(handle.node.data)
+
+    def shutdown(self) -> None:
+        for component in (self.smtpd, self.local):
+            if component is not None and component.proc.alive:
+                component.exit(0)
+                self.ctx.wait(component.pid)
+
+
+def send_mail(client_ctx: Any, user: bytes, body: bytes,
+              port: int = SMTP_PORT) -> int:
+    """Client side: push one message; returns the connection fd (the
+    reply is read after smtpd handles it)."""
+    fd = client_ctx.syscall("connect", port)
+    client_ctx.send_bytes(fd, b"RCPT:" + user + b"\nDATA:" + body)
+    return fd

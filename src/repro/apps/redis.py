@@ -1,0 +1,364 @@
+"""MiniRedis: an in-memory key-value store with fork-based snapshots.
+
+Reproduces the Redis BGSAVE pattern (U2 + U4): the parent forks, the
+child serializes the database to the ram-disk while the parent keeps
+serving writes, sharing memory copy-on-write style.
+
+Fidelity matters here: the whole database — bucket array, entry
+headers, value blocks — lives in **simulated guest memory**, linked by
+tagged capabilities.  The child walks it through its *relocated* root
+capability, so a correct snapshot is direct evidence that μFork's
+relocation works; and the pages the child's capability loads touch are
+exactly the pages CoPA copies, which is where the Fig 4/5 numbers come
+from.
+
+Entry block layout (one allocation):
+  [ 0:16)  next-entry capability (or untagged when end of chain)
+  [16:32)  value capability
+  [32:40)  key length  (u64)
+  [40:48)  value length (u64)
+  [48:..)  key bytes
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.cheri.capability import Capability
+from repro.errors import InvalidArgument
+from repro.cheri.codec import CAP_SIZE
+from repro.mem.layout import KiB, MiB, ProgramImage
+
+_LENGTHS = struct.Struct("<QQ")
+_ENTRY_HEADER = 48
+
+#: registers holding the database roots across fork
+ROOT_REG = "c10"
+META_REG = "c11"
+
+RDB_MAGIC = b"MINIRDB1"
+
+
+def redis_image(db_bytes: int = 16 * MiB) -> ProgramImage:
+    """The Redis program image; the static heap is sized to the expected
+    database (paper §4.2: build-time-configurable static heap — 136.7 MB
+    for the 100 MB database in §5.2)."""
+    heap = max(4 * MiB, int(db_bytes * 1.37))
+    return ProgramImage(
+        name="redis",
+        code_size=512 * KiB,
+        rodata_size=128 * KiB,
+        data_size=64 * KiB,
+        got_entries=2048,
+        tls_size=16 * KiB,
+        heap_size=heap,
+        mmap_size=256 * KiB,
+        stack_size=64 * KiB,
+    )
+
+
+@dataclass
+class SaveMetrics:
+    """What one BGSAVE cost (the Fig 3/4/5 measurements)."""
+
+    fork_latency_ns: int
+    save_total_ns: int
+    child_extra_bytes: int
+    child_resident_bytes: float
+    page_copies: int
+    bytes_written: int
+
+
+class MiniRedis:
+    """The key-value store, bound to one process's GuestContext."""
+
+    def __init__(self, ctx: Any, nbuckets: int = 1024) -> None:
+        self.ctx = ctx
+        self.nbuckets = nbuckets
+        self.buckets = ctx.malloc(nbuckets * CAP_SIZE)
+        #: small metadata block: [0:8) item count
+        self.meta = ctx.malloc(16)
+        ctx.store_u64(self.meta, 0)
+        ctx.set_reg(ROOT_REG, self.buckets)
+        ctx.set_reg(META_REG, self.meta)
+
+    @classmethod
+    def attach(cls, ctx: Any) -> "MiniRedis":
+        """Rebuild the store's view from (relocated) root registers —
+        what the forked child does."""
+        store = cls.__new__(cls)
+        store.ctx = ctx
+        store.buckets = ctx.reg(ROOT_REG)
+        store.meta = ctx.reg(META_REG)
+        store.nbuckets = store.buckets.length // CAP_SIZE
+        return store
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+
+    def set(self, key: bytes, value: bytes) -> None:
+        self.ctx.compute(80)
+        slot = self._bucket_index(key)
+        entry = self._find_entry(key, slot)
+        if entry is not None:
+            self._replace_value(entry, value)
+            return
+        value_cap = self.ctx.malloc(max(1, len(value)))
+        self.ctx.store(value_cap, value)
+        entry_cap = self.ctx.malloc(_ENTRY_HEADER + len(key))
+        head = self.ctx.load_cap(self.buckets, slot * CAP_SIZE)
+        if head.valid:
+            self.ctx.store_cap(entry_cap, head, 0)
+        else:
+            self.ctx.store(entry_cap, b"\x00" * CAP_SIZE, 0)  # clears tag
+        self.ctx.store_cap(entry_cap, value_cap, 16)
+        self.ctx.store(entry_cap, _LENGTHS.pack(len(key), len(value)), 32)
+        self.ctx.store(entry_cap, key, _ENTRY_HEADER)
+        self.ctx.store_cap(self.buckets, entry_cap, slot * CAP_SIZE)
+        self._bump_count(+1)
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        self.ctx.compute(60)
+        entry = self._find_entry(key, self._bucket_index(key))
+        if entry is None:
+            return None
+        _klen, vlen = self._lengths(entry)
+        value_cap = self.ctx.load_cap(entry, 16)
+        return self.ctx.load(value_cap, vlen)
+
+    def delete(self, key: bytes) -> bool:
+        self.ctx.compute(60)
+        slot = self._bucket_index(key)
+        prev: Optional[Capability] = None
+        entry = self._head(slot)
+        while entry is not None:
+            if self._key_of(entry) == key:
+                next_cap = self.ctx.load_cap(entry, 0)
+                if prev is None:
+                    if next_cap.valid:
+                        self.ctx.store_cap(self.buckets, next_cap,
+                                           slot * CAP_SIZE)
+                    else:
+                        self.ctx.store(self.buckets, b"\x00" * CAP_SIZE,
+                                       slot * CAP_SIZE)
+                elif next_cap.valid:
+                    self.ctx.store_cap(prev, next_cap, 0)
+                else:
+                    self.ctx.store(prev, b"\x00" * CAP_SIZE, 0)
+                value_cap = self.ctx.load_cap(entry, 16)
+                self.ctx.free(value_cap)
+                self.ctx.free(entry)
+                self._bump_count(-1)
+                return True
+            prev, entry = entry, self._next(entry)
+        return False
+
+    def exists(self, key: bytes) -> bool:
+        self.ctx.compute(40)
+        return self._find_entry(key, self._bucket_index(key)) is not None
+
+    def append(self, key: bytes, suffix: bytes) -> int:
+        """APPEND: concatenate to an existing value (or create);
+        returns the new length."""
+        self.ctx.compute(80)
+        current = self.get(key)
+        value = (current or b"") + suffix
+        self.set(key, value)
+        return len(value)
+
+    def incr(self, key: bytes, delta: int = 1) -> int:
+        """INCR/INCRBY: numeric counter semantics on string values."""
+        self.ctx.compute(80)
+        current = self.get(key)
+        if current is None:
+            value = delta
+        else:
+            try:
+                value = int(current) + delta
+            except ValueError:
+                raise InvalidArgument(
+                    f"value at {key!r} is not an integer"
+                )
+        self.set(key, b"%d" % value)
+        return value
+
+    def keys(self) -> List[bytes]:
+        """KEYS *: all keys (a full capability-chasing table walk)."""
+        return [key for key, _value in self.items()]
+
+    def flushall(self) -> int:
+        """FLUSHALL: delete everything; returns the count removed."""
+        removed = 0
+        for key in self.keys():
+            if self.delete(key):
+                removed += 1
+        return removed
+
+    def size(self) -> int:
+        return self.ctx.load_u64(self.meta)
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Iterate all (key, value) pairs (capability-chasing walk)."""
+        for slot in range(self.nbuckets):
+            entry = self._head(slot)
+            while entry is not None:
+                klen, vlen = self._lengths(entry)
+                key = self.ctx.load(entry, klen, _ENTRY_HEADER)
+                value_cap = self.ctx.load_cap(entry, 16)
+                yield key, self.ctx.load(value_cap, vlen)
+                entry = self._next(entry)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save_to(self, path: str) -> int:
+        """Serialize the database to the ram-disk (child-side of BGSAVE).
+
+        Writes to a temp file then renames, like Redis' RDB writer.
+        Returns bytes written.
+        """
+        from repro.kernel.vfs import O_CREAT, O_TRUNC, O_WRONLY
+        ctx = self.ctx
+        machine = ctx.os.machine
+        tmp_path = path + ".tmp"
+        fd = ctx.syscall("open", tmp_path, O_CREAT | O_TRUNC | O_WRONLY)
+        written = 0
+        header = RDB_MAGIC + struct.pack("<Q", self.size())
+        machine.charge(machine.costs.serialize_ns_per_byte * len(header),
+                       "serialize")
+        written += ctx.write_bytes(fd, header)
+        for key, value in self.items():
+            record = _LENGTHS.pack(len(key), len(value)) + key + value
+            machine.charge(
+                machine.costs.serialize_ns_per_byte * len(record), "serialize"
+            )
+            written += ctx.write_bytes(fd, record)
+        ctx.syscall("close", fd)
+        ctx.syscall("rename", tmp_path, path)
+        return written
+
+    def load_from(self, path: str) -> int:
+        """Restore the database from an RDB file (server restart path).
+
+        Reads the dump through the normal fd interface into guest
+        memory and rebuilds the hash table with fresh allocations.
+        Returns the number of keys loaded.
+        """
+        from repro.kernel.vfs import O_RDONLY
+        ctx = self.ctx
+        size = ctx.syscall("stat", path)
+        fd = ctx.syscall("open", path, O_RDONLY)
+        raw = ctx.read_bytes(fd, size)
+        ctx.syscall("close", fd)
+        entries = self.parse_dump(raw)
+        for key, value in entries.items():
+            self.set(key, value)
+        return len(entries)
+
+    @staticmethod
+    def parse_dump(raw: bytes) -> dict:
+        """Parse an RDB dump back into a dict (verification helper)."""
+        if raw[:8] != RDB_MAGIC:
+            raise ValueError("bad RDB magic")
+        (count,) = struct.unpack_from("<Q", raw, 8)
+        offset = 16
+        out = {}
+        for _ in range(count):
+            klen, vlen = _LENGTHS.unpack_from(raw, offset)
+            offset += 16
+            key = raw[offset:offset + klen]
+            offset += klen
+            value = raw[offset:offset + vlen]
+            offset += vlen
+            out[key] = value
+        return out
+
+    def bgsave(self, path: str) -> SaveMetrics:
+        """Fork a child to snapshot the database (the Fig 3 operation)."""
+        ctx = self.ctx
+        machine = ctx.os.machine
+        frames_before = machine.phys.allocated_frames
+        copies_before = machine.counters.get("fork_page_copies")
+
+        with machine.clock.measure() as total:
+            with machine.clock.measure() as fork_watch:
+                child_ctx = ctx.fork()
+            child_store = MiniRedis.attach(child_ctx)
+            bytes_written = child_store.save_to(path)
+            child_extra = (
+                machine.phys.allocated_frames - frames_before
+            ) * machine.config.page_size
+            child_resident = ctx.os.memory_of(child_ctx.proc)
+            child_ctx.exit(0)
+            ctx.wait(child_ctx.pid)
+
+        return SaveMetrics(
+            fork_latency_ns=fork_watch.elapsed_ns,
+            save_total_ns=total.elapsed_ns,
+            child_extra_bytes=child_extra,
+            child_resident_bytes=child_resident,
+            page_copies=(machine.counters.get("fork_page_copies")
+                         - copies_before),
+            bytes_written=bytes_written,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _bucket_index(self, key: bytes) -> int:
+        return zlib.crc32(key) % self.nbuckets
+
+    def _head(self, slot: int) -> Optional[Capability]:
+        cap = self.ctx.load_cap(self.buckets, slot * CAP_SIZE)
+        return cap if cap.valid else None
+
+    def _next(self, entry: Capability) -> Optional[Capability]:
+        cap = self.ctx.load_cap(entry, 0)
+        return cap if cap.valid else None
+
+    def _lengths(self, entry: Capability) -> Tuple[int, int]:
+        raw = self.ctx.load(entry, 16, 32)
+        klen, vlen = _LENGTHS.unpack(raw)
+        return klen, vlen
+
+    def _key_of(self, entry: Capability) -> bytes:
+        klen, _vlen = self._lengths(entry)
+        return self.ctx.load(entry, klen, _ENTRY_HEADER)
+
+    def _find_entry(self, key: bytes, slot: int) -> Optional[Capability]:
+        entry = self._head(slot)
+        while entry is not None:
+            if self._key_of(entry) == key:
+                return entry
+            entry = self._next(entry)
+        return None
+
+    def _replace_value(self, entry: Capability, value: bytes) -> None:
+        old_value = self.ctx.load_cap(entry, 16)
+        self.ctx.free(old_value)
+        value_cap = self.ctx.malloc(max(1, len(value)))
+        self.ctx.store(value_cap, value)
+        self.ctx.store_cap(entry, value_cap, 16)
+        klen, _ = self._lengths(entry)
+        self.ctx.store(entry, _LENGTHS.pack(klen, len(value)), 32)
+
+    def _bump_count(self, delta: int) -> None:
+        self.ctx.store_u64(self.meta, self.size() + delta)
+
+
+def populate(store: MiniRedis, total_bytes: int,
+             value_size: int = 100 * KiB) -> int:
+    """Fill the store with ``total_bytes`` of ``value_size`` values
+    (the paper populates 100 KB entries)."""
+    count = max(1, total_bytes // value_size)
+    for index in range(count):
+        key = b"key:%08d" % index
+        value = bytes([index % 251]) * value_size
+        store.set(key, value)
+    return count

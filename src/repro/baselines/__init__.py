@@ -1,0 +1,17 @@
+"""The comparison systems of the paper's evaluation (§5).
+
+* :class:`MonolithicOS` — a CheriBSD-like multi-address-space OS:
+  page-table-copy fork with classic copy-on-write, trap-based syscalls,
+  TLB flushes on context switch.
+* :class:`VMCloneOS` — a Nephele-like "OS-as-a-process" design: fork is
+  implemented by the hypervisor cloning the whole unikernel VM.
+* :class:`IsoUnikOS` — an Iso-Unik-like design: multiple page tables
+  retrofitted into a unikernel (beyond the paper's measured baselines;
+  covers Table 1's remaining class).
+"""
+
+from repro.baselines.monolithic import MonolithicOS
+from repro.baselines.vmclone import VMCloneOS
+from repro.baselines.isounik import IsoUnikOS
+
+__all__ = ["MonolithicOS", "VMCloneOS", "IsoUnikOS"]

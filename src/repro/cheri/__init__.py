@@ -1,0 +1,27 @@
+"""Software model of CHERI capabilities.
+
+This package reproduces the capability *semantics* μFork depends on
+(§2.4 of the paper): 128-bit capabilities carrying bounds and
+permissions, hardware-enforced monotonicity, one validity tag per
+16-byte granule, and sealed (sentry) capabilities for trapless
+security-domain transitions.
+"""
+
+from repro.cheri.capability import (
+    Capability,
+    Perm,
+    OTYPE_UNSEALED,
+    OTYPE_SENTRY,
+)
+from repro.cheri.regfile import RegisterFile
+from repro.cheri.codec import CapabilityCodec, CAP_SIZE
+
+__all__ = [
+    "Capability",
+    "Perm",
+    "OTYPE_UNSEALED",
+    "OTYPE_SENTRY",
+    "RegisterFile",
+    "CapabilityCodec",
+    "CAP_SIZE",
+]

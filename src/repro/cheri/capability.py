@@ -1,0 +1,230 @@
+"""The CHERI capability value type.
+
+A :class:`Capability` is an immutable fat pointer: an address (cursor)
+plus the bounds ``[base, base+length)`` and permissions of the object it
+refers to.  The two properties μFork's security argument rests on are
+enforced here:
+
+* **monotonicity** — every deriving operation (:meth:`set_bounds`,
+  :meth:`and_perms`) can only shrink authority; attempts to grow it raise
+  :class:`~repro.errors.MonotonicityFault`;
+* **unforgeability** — capabilities in simulated memory are only valid
+  when their granule's tag is set; any byte store clears the tag (see
+  :mod:`repro.hw.phys`).  A capability object whose ``valid`` flag is
+  False cannot authorize anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import IntFlag
+
+from repro.errors import (
+    BoundsFault,
+    MonotonicityFault,
+    PermissionFault,
+    SealFault,
+    TagFault,
+)
+
+#: object type of an unsealed capability
+OTYPE_UNSEALED = -1
+#: object type of a "sentry" (sealed entry) capability: invoking it jumps
+#: to a fixed target and unseals it, the mechanism behind μFork's
+#: trapless system calls (§4.4)
+OTYPE_SENTRY = -2
+
+
+class Perm(IntFlag):
+    """Capability permission bits (subset of the Morello set)."""
+
+    NONE = 0
+    LOAD = 1 << 0
+    STORE = 1 << 1
+    EXECUTE = 1 << 2
+    LOAD_CAP = 1 << 3
+    STORE_CAP = 1 << 4
+    SEAL = 1 << 5
+    UNSEAL = 1 << 6
+    #: authorizes privileged (system-register) operations; user
+    #: capabilities never carry it (§4.4, second principle)
+    SYSTEM = 1 << 7
+    GLOBAL = 1 << 8
+
+    @classmethod
+    def data_rw(cls) -> "Perm":
+        return cls.LOAD | cls.STORE | cls.LOAD_CAP | cls.STORE_CAP | cls.GLOBAL
+
+    @classmethod
+    def data_ro(cls) -> "Perm":
+        return cls.LOAD | cls.LOAD_CAP | cls.GLOBAL
+
+    @classmethod
+    def code(cls) -> "Perm":
+        return cls.LOAD | cls.EXECUTE | cls.GLOBAL
+
+    @classmethod
+    def all_perms(cls) -> "Perm":
+        value = cls.NONE
+        for perm in cls:
+            value |= perm
+        return value
+
+
+@dataclass(frozen=True)
+class Capability:
+    """An immutable CHERI capability."""
+
+    base: int
+    length: int
+    cursor: int
+    perms: Perm
+    otype: int = OTYPE_UNSEALED
+    valid: bool = True
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def root(cls, size: int) -> "Capability":
+        """The almighty root capability the machine boots with."""
+        return cls(base=0, length=size, cursor=0, perms=Perm.all_perms())
+
+    @classmethod
+    def null(cls) -> "Capability":
+        return cls(base=0, length=0, cursor=0, perms=Perm.NONE, valid=False)
+
+    # -- basic queries ----------------------------------------------------
+
+    @property
+    def top(self) -> int:
+        return self.base + self.length
+
+    @property
+    def is_sealed(self) -> bool:
+        return self.otype != OTYPE_UNSEALED
+
+    @property
+    def is_sentry(self) -> bool:
+        return self.otype == OTYPE_SENTRY
+
+    @property
+    def offset(self) -> int:
+        return self.cursor - self.base
+
+    def in_bounds(self, addr: int, size: int = 1) -> bool:
+        return self.base <= addr and addr + size <= self.top
+
+    def spans(self, base: int, top: int) -> bool:
+        """True if this capability's bounds lie entirely inside [base, top)."""
+        return base <= self.base and self.top <= top
+
+    def has_perm(self, perm: Perm) -> bool:
+        return (self.perms & perm) == perm
+
+    # -- deriving (monotonic) operations ------------------------------------
+
+    def _require_mutable(self) -> None:
+        if self.is_sealed:
+            raise SealFault(f"cannot modify sealed capability {self!r}")
+
+    def with_cursor(self, cursor: int) -> "Capability":
+        """Move the cursor.  Out-of-bounds cursors are representable (as
+        on Morello); the fault happens at dereference time."""
+        self._require_mutable()
+        return replace(self, cursor=cursor)
+
+    def add(self, offset: int) -> "Capability":
+        return self.with_cursor(self.cursor + offset)
+
+    def set_bounds(self, base: int, length: int) -> "Capability":
+        """Shrink bounds to ``[base, base+length)``; growing faults."""
+        self._require_mutable()
+        if length < 0:
+            raise BoundsFault(f"negative capability length {length}")
+        if base < self.base or base + length > self.top:
+            raise MonotonicityFault(
+                f"set_bounds [{base:#x},{base + length:#x}) exceeds "
+                f"[{self.base:#x},{self.top:#x})"
+            )
+        cursor = min(max(self.cursor, base), base + length)
+        return replace(self, base=base, length=length, cursor=cursor)
+
+    def and_perms(self, perms: Perm) -> "Capability":
+        """Intersect permissions (can only clear bits)."""
+        self._require_mutable()
+        return replace(self, perms=self.perms & perms)
+
+    def without_perms(self, perms: Perm) -> "Capability":
+        self._require_mutable()
+        return replace(self, perms=self.perms & ~perms)
+
+    def invalidated(self) -> "Capability":
+        """Return the same bit pattern with the tag cleared."""
+        return replace(self, valid=False)
+
+    # -- sealing ---------------------------------------------------------
+
+    def sealed(self, otype: int) -> "Capability":
+        if self.is_sealed:
+            raise SealFault("capability is already sealed")
+        if otype == OTYPE_UNSEALED:
+            raise SealFault("cannot seal with the unsealed otype")
+        return replace(self, otype=otype)
+
+    def unsealed(self) -> "Capability":
+        if not self.is_sealed:
+            raise SealFault("capability is not sealed")
+        return replace(self, otype=OTYPE_UNSEALED)
+
+    # -- checked dereference ------------------------------------------------
+
+    def check_access(self, perm: Perm, size: int = 1, addr: int | None = None) -> int:
+        """Validate a dereference; returns the effective address.
+
+        Raises the same fault classes Morello would deliver: tag, seal,
+        permission, then bounds.
+        """
+        if not self.valid:
+            raise TagFault(f"dereference of untagged capability {self!r}")
+        if self.is_sealed:
+            raise SealFault(f"dereference of sealed capability {self!r}")
+        if not self.has_perm(perm):
+            raise PermissionFault(
+                f"capability lacks {perm!r}: has {self.perms!r}"
+            )
+        effective = self.cursor if addr is None else addr
+        if not self.in_bounds(effective, size):
+            raise BoundsFault(
+                f"access [{effective:#x},{effective + size:#x}) outside "
+                f"[{self.base:#x},{self.top:#x})"
+            )
+        return effective
+
+    # -- relocation support (μFork §4.2) -------------------------------------
+
+    def rebased(self, delta: int) -> "Capability":
+        """Shift base and cursor by ``delta``.
+
+        This is a *kernel-only* operation: it is not monotonic and models
+        the relocation the μFork kernel (which holds the root capability)
+        performs when copying a page into the child μprocess.
+        """
+        return replace(
+            self, base=self.base + delta, cursor=self.cursor + delta
+        )
+
+    def clamped_to(self, base: int, top: int) -> "Capability":
+        """Restrict bounds to intersect [base, top) (kernel-only)."""
+        new_base = max(self.base, base)
+        new_top = min(self.top, top)
+        if new_top < new_base:
+            new_base = new_top = base
+        return replace(self, base=new_base, length=new_top - new_base)
+
+    def __repr__(self) -> str:
+        seal = "" if not self.is_sealed else f" sealed:{self.otype}"
+        tag = "" if self.valid else " INVALID"
+        return (
+            f"Cap[{self.base:#x}+{self.length:#x} @{self.cursor:#x} "
+            f"{self.perms!r}{seal}{tag}]"
+        )

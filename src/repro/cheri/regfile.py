@@ -1,0 +1,74 @@
+"""Capability register file.
+
+Each μprocess thread owns a :class:`RegisterFile`.  Registers hold either
+a :class:`~repro.cheri.capability.Capability` or a plain integer; as on
+Morello, "tags extend to values in registers" (§3.5), which is what lets
+μFork relocate exactly the capability-valued registers at fork time
+without mistaking integers for pointers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple, Union
+
+from repro.cheri.capability import Capability
+
+RegValue = Union[Capability, int]
+
+#: program counter capability — bounds PIC-relative code references
+PCC = "pcc"
+#: capability stack pointer
+CSP = "csp"
+#: default data capability (the μprocess's whole region)
+DDC = "ddc"
+#: GOT base register
+CGP = "cgp"
+#: thread-local storage base
+CTP = "ctp"
+
+WELL_KNOWN = (PCC, CSP, DDC, CGP, CTP)
+
+
+class RegisterFile:
+    """A small named register file (well-known + general registers)."""
+
+    def __init__(self) -> None:
+        self._regs: Dict[str, RegValue] = {}
+
+    def get(self, name: str) -> RegValue:
+        if name not in self._regs:
+            raise KeyError(f"register {name!r} never written")
+        return self._regs[name]
+
+    def get_cap(self, name: str) -> Capability:
+        value = self.get(name)
+        if not isinstance(value, Capability):
+            raise TypeError(f"register {name!r} holds an integer, not a capability")
+        return value
+
+    def set(self, name: str, value: RegValue) -> None:
+        self._regs[name] = value
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regs
+
+    def items(self) -> Iterator[Tuple[str, RegValue]]:
+        return iter(self._regs.items())
+
+    def cap_registers(self) -> Iterator[Tuple[str, Capability]]:
+        """Iterate only the registers currently holding valid capabilities
+        (the set μFork must relocate when creating the child, §3.5)."""
+        for name, value in self._regs.items():
+            if isinstance(value, Capability) and value.valid:
+                yield name, value
+
+    def copy(self) -> "RegisterFile":
+        clone = RegisterFile()
+        clone._regs = dict(self._regs)
+        return clone
+
+    def __len__(self) -> int:
+        return len(self._regs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RegisterFile({self._regs!r})"

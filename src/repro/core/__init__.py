@@ -1,0 +1,19 @@
+"""μFork: the paper's primary contribution.
+
+``UForkOS`` is a single-address-space OS (Unikraft-like) extended with
+μFork: POSIX fork emulated by copying the parent μprocess's memory to a
+different location *within the single address space*, relocating
+absolute memory references found via CHERI tags, and isolating
+μprocesses with bounded capabilities.
+"""
+
+from repro.core.strategies import CopyStrategy
+from repro.core.isolation import IsolationLevel, IsolationConfig
+from repro.core.ufork import UForkOS
+
+__all__ = [
+    "CopyStrategy",
+    "IsolationLevel",
+    "IsolationConfig",
+    "UForkOS",
+]

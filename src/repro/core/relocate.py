@@ -1,0 +1,124 @@
+"""Absolute-memory-reference relocation (paper §4.2).
+
+When μFork copies a page from the parent's area into the child's, the
+copy is scanned in 16-byte (capability-granule) steps.  Granules whose
+validity tag is set hold capabilities; any capability that points into
+the parent's region — or whose bounds would let the child reach outside
+its own region — is rebased by ``child_base - parent_base`` and its
+bounds clamped to the child's region.  Sealed sentry capabilities (the
+trapless syscall gates) are the one sanctioned cross-region reference
+and are preserved.  Anything else pointing outside both regions is
+invalidated, which is how μFork guarantees capabilities never leak
+across μprocesses (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.cheri.capability import Capability
+from repro.cheri.regfile import RegisterFile
+from repro.hw.phys import Frame
+
+
+@dataclass(frozen=True)
+class RegionPair:
+    """Source (parent) and destination (child) region spans."""
+
+    parent_base: int
+    parent_top: int
+    child_base: int
+    child_top: int
+
+    @property
+    def delta(self) -> int:
+        return self.child_base - self.parent_base
+
+    def in_parent(self, addr: int) -> bool:
+        return self.parent_base <= addr < self.parent_top
+
+    def in_child(self, addr: int) -> bool:
+        return self.child_base <= addr < self.child_top
+
+
+def relocate_cap(cap: Capability, regions: RegionPair) -> Capability:
+    """Return the relocated form of one capability (or ``cap`` itself
+    when no change is needed).
+
+    Rules, in order:
+
+    1. invalid capabilities are left alone (no authority to leak);
+    2. sealed sentries (syscall gates) are preserved — they are the
+       sanctioned kernel entry point and cannot be modified anyway;
+    3. capabilities already confined to the child's region are fine;
+    4. capabilities pointing into the parent's region are rebased by
+       the region delta and clamped to the child's region;
+    5. anything else would leak authority outside the μprocess and is
+       invalidated.
+    """
+    if not cap.valid:
+        return cap
+    if cap.is_sentry:
+        return cap
+    if regions.in_child(cap.base) and cap.top <= regions.child_top:
+        return cap
+    if regions.in_parent(cap.base) or regions.in_parent(cap.cursor):
+        moved = cap.rebased(regions.delta)
+        if moved.base < regions.child_base or moved.top > regions.child_top:
+            moved = moved.clamped_to(regions.child_base, regions.child_top)
+        return moved
+    return cap.invalidated()
+
+
+def relocate_frame(machine: Any, frame: Frame, regions: RegionPair) -> int:
+    """Scan one (already copied) frame and relocate its capabilities.
+
+    Charges the tag scan plus one relocation cost per rewritten
+    capability; returns the number of capabilities relocated.
+    """
+    config = machine.config
+    machine.charge(
+        machine.costs.page_scan_ns(config.page_size, config.granule),
+        "reloc_scan",
+    )
+    relocated = 0
+    for offset in frame.tagged_granules():
+        cap = frame.load_cap(offset, machine.codec)
+        moved = relocate_cap(cap, regions)
+        if moved is not cap:
+            frame.store_cap(offset, moved, machine.codec)
+            machine.charge(machine.costs.cap_relocate_ns, "reloc_cap")
+            relocated += 1
+    if relocated:
+        machine.counters.add("caps_relocated", relocated)
+        machine.trace("relocate_frame", caps=relocated)
+    return relocated
+
+
+def relocate_registers(machine: Any, registers: RegisterFile,
+                       regions: RegionPair) -> int:
+    """Relocate capability-valued registers for the child (§3.5 step 2).
+
+    Tags extend to register values, so integers are left untouched.
+    """
+    relocated = 0
+    for name, cap in list(registers.cap_registers()):
+        moved = relocate_cap(cap, regions)
+        if moved is not cap:
+            registers.set(name, moved)
+            machine.charge(machine.costs.cap_relocate_ns, "reloc_reg")
+            relocated += 1
+    return relocated
+
+
+def find_unrelocated(machine: Any, frame: Frame,
+                     regions: RegionPair) -> list:
+    """Debug/verification helper: capabilities in a frame that still
+    point into the parent region (should be empty after relocation)."""
+    leaks = []
+    for offset in frame.tagged_granules():
+        cap = frame.load_cap(offset, machine.codec)
+        if cap.valid and not cap.is_sentry and regions.in_parent(cap.base):
+            leaks.append((offset, cap))
+    return leaks

@@ -1,0 +1,182 @@
+"""Memory-copy strategies: full copy, Copy-on-Access, Copy-on-Pointer-Access.
+
+Traditional CoW cannot be applied as-is by μFork (§3.8): a page the
+child merely *reads* may contain absolute memory references that still
+point into the parent, so it must be copied and relocated before the
+child can load them.  The three strategies the paper evaluates:
+
+* ``FULL_COPY`` — copy + relocate every parent page synchronously at
+  fork (the 23.2 ms / 144 MB upper bound in §5.2);
+* ``COA`` — share pages but mark the child's mappings inaccessible:
+  *any* child access (and any parent write) triggers copy + relocation;
+* ``COPA`` — share pages read-only, using CHERI's fault-on-capability-
+  load page bit: parent/child writes and child *capability loads*
+  trigger copy + relocation, but plain data reads stay shared.
+
+The strategies are implemented as fork-time page-table setup plus a
+page-fault handler; the records live in PTE ``note`` slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Optional
+
+from repro.core.relocate import RegionPair, relocate_frame
+from repro.hw.paging import AccessKind, AddressSpace, PagePerm, PTE
+
+
+class CopyStrategy(Enum):
+    """How a forked child's memory is materialized."""
+
+    FULL_COPY = "full"
+    COA = "coa"
+    COPA = "copa"
+
+
+@dataclass
+class ShareNote:
+    """PTE annotation for a page shared between parent and child."""
+
+    #: "parent" or "child" — which side of the fork this PTE belongs to
+    role: str
+    strategy: CopyStrategy
+    regions: RegionPair
+    #: permissions to restore once the page becomes private
+    orig_perms: PagePerm
+
+
+def child_share_perms(strategy: CopyStrategy,
+                      orig_perms: PagePerm) -> PagePerm:
+    """Page permissions for the child's mapping of a shared page."""
+    if strategy is CopyStrategy.COA:
+        # fully inaccessible: any access faults
+        return PagePerm.NONE
+    if strategy is CopyStrategy.COPA:
+        # readable/executable, but no writes and no capability loads
+        return orig_perms & ~(PagePerm.WRITE | PagePerm.LOAD_CAP)
+    raise ValueError(f"no sharing under {strategy}")
+
+
+def parent_share_perms(orig_perms: PagePerm) -> PagePerm:
+    """Parent keeps reading (including its own capabilities) but writes
+    must fault to preserve the child's snapshot."""
+    return orig_perms & ~PagePerm.WRITE
+
+
+def setup_shared_page(space: AddressSpace, parent_vpn: int, child_vpn: int,
+                      strategy: CopyStrategy, regions: RegionPair) -> None:
+    """Fork-time setup for one page under CoA/CoPA."""
+    machine = space.machine
+    parent_pte = space.page_table.get(parent_vpn)
+    orig = parent_pte.note.orig_perms if isinstance(parent_pte.note, ShareNote) \
+        else parent_pte.perms
+
+    # Child maps the parent's frame at the mirrored address.
+    space.map_page(
+        child_vpn, parent_pte.frame,
+        child_share_perms(strategy, orig), incref=True,
+        note=ShareNote("child", strategy, regions, orig),
+    )
+    machine.charge(machine.costs.pte_bulk_share_ns, "fork_map")
+    if strategy is CopyStrategy.COA:
+        machine.charge(machine.costs.pte_coa_extra_ns, "fork_map")
+
+    # Parent loses write permission (lazily restored on its next write).
+    parent_pte.perms = parent_share_perms(orig)
+    if not isinstance(parent_pte.note, ShareNote):
+        parent_pte.note = ShareNote("parent", strategy, regions, orig)
+    machine.charge(machine.costs.pte_protect_ns, "fork_protect")
+
+
+def copy_page_for_child(space: AddressSpace, child_vpn: int,
+                        src_frame: int, perms: PagePerm,
+                        regions: RegionPair,
+                        map_new: bool = False) -> None:
+    """Copy + relocate one page into the child (eager or on fault)."""
+    machine = space.machine
+    new_frame = machine.phys.copy_frame(src_frame, preserve_tags=True)
+    relocate_frame(machine, machine.phys.frame(new_frame), regions)
+    if map_new:
+        space.map_page(child_vpn, new_frame, perms)
+        machine.charge(machine.costs.pte_bulk_share_ns, "fork_map")
+    else:
+        space.replace_frame(child_vpn, new_frame)
+        space.protect_page(child_vpn, perms)
+    machine.counters.add("fork_page_copies")
+    machine.trace("fork_page_copy", vpn=child_vpn,
+                  eager=map_new)
+
+
+def handle_fork_fault(space: AddressSpace, vaddr: int,
+                      kind: AccessKind) -> bool:
+    """Page-fault handler implementing the lazy halves of CoA/CoPA.
+
+    Returns True when the fault was a fork-sharing fault and has been
+    resolved (the access should be retried).
+    """
+    machine = space.machine
+    vpn = vaddr // machine.config.page_size
+    pte = space.page_table.get(vpn)
+    if pte is None or not isinstance(pte.note, ShareNote):
+        return False
+    note = pte.note
+
+    if note.role == "parent":
+        if kind is not AccessKind.WRITE:
+            return False  # parent reads never fault under either strategy
+        _make_private(space, vpn, pte, relocate=False, note=note)
+        machine.counters.add("fork_parent_cow_break")
+        machine.trace("cow_break", role="parent", vpn=vpn)
+        return True
+
+    # child side: writes always break; reads/exec/cap-loads depend on strategy
+    if note.strategy is CopyStrategy.COPA and kind is AccessKind.READ:
+        return False  # CoPA allows plain reads; this fault is something else
+    _make_private(space, vpn, pte, relocate=True, note=note)
+    machine.counters.add(f"fork_child_break_{kind.name.lower()}")
+    machine.trace("cow_break", role="child", vpn=vpn,
+                  kind=kind.name.lower())
+    return True
+
+
+def _make_private(space: AddressSpace, vpn: int, pte: PTE,
+                  relocate: bool, note: ShareNote) -> None:
+    """Give this mapping a private frame (copying if still shared) and
+    restore its original permissions."""
+    machine = space.machine
+    if machine.phys.refcount(pte.frame) > 1:
+        new_frame = machine.phys.copy_frame(pte.frame, preserve_tags=True)
+        if relocate:
+            relocate_frame(machine, machine.phys.frame(new_frame),
+                           note.regions)
+        space.replace_frame(vpn, new_frame)
+        machine.counters.add("fork_page_copies")
+    elif relocate:
+        # Last sharer (peer exited/copied): the frame is now private but
+        # may still hold parent-region capabilities needing relocation.
+        relocate_frame(machine, machine.phys.frame(pte.frame), note.regions)
+    pte.perms = note.orig_perms
+    pte.note = None
+
+
+def resolve_all_pending(space: AddressSpace, region_base: int,
+                        region_top: int) -> int:
+    """Force-resolve every still-shared *child-role* page of a region.
+
+    μFork calls this on a process about to fork again while some of its
+    own pages are still shared with *its* parent: stabilizing the image
+    first keeps relocation a single-hop rebase.
+    """
+    machine = space.machine
+    page = machine.config.page_size
+    resolved = 0
+    for vpn in range(region_base // page, (region_top + page - 1) // page):
+        pte = space.page_table.get(vpn)
+        if pte is not None and isinstance(pte.note, ShareNote) \
+                and pte.note.role == "child":
+            machine.charge(machine.costs.page_fault_ns, "page_fault")
+            _make_private(space, vpn, pte, relocate=True, note=pte.note)
+            resolved += 1
+    return resolved

@@ -1,0 +1,381 @@
+"""UForkOS: the single-address-space OS with μFork.
+
+Walks the paper's design end to end: one address space shared by the
+kernel and every μprocess (§3.7); fork by copying the parent μprocess's
+memory to a freshly reserved contiguous area (§3.5); eager copy +
+relocation of GOT and allocator-metadata pages; lazy CoA/CoPA sharing
+for everything else (§3.8); CHERI-bounded capabilities and sealed
+syscall gates for isolation (§4.3, §4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Set
+
+from repro.cheri.capability import Capability, Perm
+from repro.core.isolation import (
+    IsolationConfig,
+    make_syscall_gate,
+)
+from repro.core.relocate import RegionPair, relocate_registers
+from repro.core.strategies import (
+    CopyStrategy,
+    ShareNote,
+    copy_page_for_child,
+    handle_fork_fault,
+    resolve_all_pending,
+    setup_shared_page,
+)
+from repro.core.uprocess import load_uprocess
+from repro.hw.paging import AddressSpace, PagePerm
+from repro.kernel.base import AbstractOS, SharedMemoryObject
+from repro.kernel.syscalls import IsolationLevel, check_syscall_gate
+from repro.kernel.task import Process
+from repro.machine import Machine
+from repro.mem.layout import ProgramImage
+from repro.mem.vspace import VirtualAreaAllocator
+
+#: kernel image location in the single address space
+KERNEL_BASE = 0x0000_0001_0000_0000
+KERNEL_SIZE = 16 * 1024 * 1024
+#: the syscall-handler entry point targeted by sealed gates
+GATE_ADDR = KERNEL_BASE + 0x1000
+#: pages of kernel code/data actually mapped (for accounting)
+KERNEL_MAPPED_PAGES = 64
+
+#: window of the address space dedicated to μprocess regions
+UPROC_WINDOW_BASE = 0x0000_0100_0000_0000
+UPROC_WINDOW_SIZE = 1 << 40  # 1 TiB of VA: fragmentation is a non-issue (§6)
+
+
+class UForkOS(AbstractOS):
+    """A Unikraft-like SASOS extended with μFork."""
+
+    kind = "ufork"
+
+    #: kernel-side per-process overhead (task struct, kernel stack,
+    #: fd table) counted by the memory metric
+    KERNEL_PROC_OVERHEAD = 48 * 1024
+
+    def __init__(self, machine: Optional[Machine] = None,
+                 copy_strategy: CopyStrategy = CopyStrategy.COPA,
+                 isolation: Optional[IsolationConfig] = None,
+                 aslr: bool = False,
+                 trapless_syscalls: bool = True,
+                 eager_copy: bool = True) -> None:
+        super().__init__(
+            machine=machine,
+            trapless_syscalls=trapless_syscalls,
+            isolation=isolation or IsolationConfig.fault(),
+            same_address_space=True,
+        )
+        self.copy_strategy = copy_strategy
+        #: §3.5 step 1: proactively copy GOT + allocator-metadata pages
+        #: at fork.  Disabling this is an ablation: still *correct*
+        #: under CoA/CoPA (the faults catch every stale reference) but
+        #: moves the cost to the child's first touches.
+        self.eager_copy = eager_copy
+        machine = self.machine
+
+        #: the one address space (kernel + all μprocesses)
+        self.space = AddressSpace(machine, "sasos")
+        self.space.fault_handler = self._handle_fault
+        #: pid -> (lo, hi) demand-zero heap ranges (dynamic heaps, §4.2)
+        self._demand_zero = {}
+
+        self.kernel_root = Capability.root(machine.config.va_size)
+        from repro.core.libraries import LibraryRegistry
+        self.libraries = LibraryRegistry(machine)
+        self.vspace = VirtualAreaAllocator(
+            UPROC_WINDOW_BASE, UPROC_WINDOW_SIZE, machine.config.page_size,
+            aslr_rng=machine.rng if aslr else None,
+        )
+        self._boot()
+
+    # ------------------------------------------------------------------
+    # Boot (§4.1: init capability features, exception vectors, gates)
+    # ------------------------------------------------------------------
+
+    def _boot(self) -> None:
+        page = self.machine.config.page_size
+        for index in range(KERNEL_MAPPED_PAGES):
+            frame = self.machine.phys.alloc(zero=True, charge=False)
+            # PagePerm.NONE: μprocess access to kernel memory faults;
+            # the kernel itself uses privileged accesses.
+            self.space.map_page(KERNEL_BASE // page + index, frame,
+                                PagePerm.NONE)
+        self.kernel_code_cap = (
+            self.kernel_root
+            .set_bounds(KERNEL_BASE, KERNEL_SIZE)
+            .with_cursor(KERNEL_BASE)
+        )
+        self.syscall_gate = make_syscall_gate(self.kernel_code_cap, GATE_ADDR)
+
+    # ------------------------------------------------------------------
+    # AbstractOS interface
+    # ------------------------------------------------------------------
+
+    def space_of(self, proc: Process) -> AddressSpace:
+        return self.space
+
+    def spawn(self, image: ProgramImage, name: str) -> Process:
+        proc = load_uprocess(self, image, name)
+        from repro.core.libraries import map_library
+        for lib_name in getattr(image, "shared_libs", ()):
+            lib = self.libraries.get_or_create(lib_name)
+            map_library(self, proc, lib)
+        return proc
+
+    def syscall(self, proc: Process, name: str, *args: Any,
+                gate: Optional[Capability] = None) -> Any:
+        """Kernel entry: through the sealed sentry gate when isolation
+        is enabled (§4.4 principle 1)."""
+        if self.isolation.level is not IsolationLevel.NONE:
+            check_syscall_gate(proc,
+                               gate if gate is not None else proc.syscall_gate)
+        return super().syscall(proc, name, *args, gate=gate)
+
+    # ------------------------------------------------------------------
+    # Fault dispatch: fork-sharing faults, then demand-zero heap paging
+    # ------------------------------------------------------------------
+
+    def _handle_fault(self, space: AddressSpace, vaddr: int, kind) -> bool:
+        if handle_fork_fault(space, vaddr, kind):
+            return True
+        return self._handle_demand_zero(vaddr)
+
+    def _handle_demand_zero(self, vaddr: int) -> bool:
+        page = self.machine.config.page_size
+        vpn = vaddr // page
+        if self.space.page_table.get(vpn) is not None:
+            return False
+        for lo, hi in self._demand_zero.values():
+            if lo <= vaddr < hi:
+                frame = self.machine.phys.alloc(zero=True)
+                self.space.map_page(vpn, frame, PagePerm.rwc())
+                self.machine.counters.add("demand_zero_pages")
+                return True
+        return False
+
+    def _register_demand_heap(self, proc: Process) -> None:
+        if proc.layout.image.heap_initial is None:
+            return
+        heap_base, heap_top = proc.layout.span("heap")
+        self._demand_zero[proc.pid] = (heap_base, heap_top)
+
+    # ------------------------------------------------------------------
+    # μFork itself (§3.5)
+    # ------------------------------------------------------------------
+
+    def fork(self, proc: Process) -> Process:
+        machine = self.machine
+        page = machine.config.page_size
+        machine.charge(machine.costs.ufork_fixed_ns, "fork_fixed")
+
+        # A process forking while some of its own pages are still shared
+        # with *its* parent first stabilizes its image, keeping every
+        # relocation a single-hop rebase.
+        resolve_all_pending(self.space, proc.region_base, proc.region_top)
+
+        # 1. reserve the child's contiguous area and mirror the layout
+        child_base = self.vspace.reserve(proc.region_size)
+        child = Process(self.pids.allocate(), proc.name, parent=proc)
+        child.layout = proc.layout.rebased(child_base)
+        child.region_base = child.layout.region_base
+        child.region_top = child.layout.region_top
+        child.fdtable = proc.fdtable.fork_copy(machine)
+        from repro.kernel import signals as _signals
+        child.signal_state = _signals.signal_state(proc).fork_copy()
+        child.syscall_gate = self.syscall_gate
+
+        regions = RegionPair(
+            parent_base=proc.region_base, parent_top=proc.region_top,
+            child_base=child.region_base, child_top=child.region_top,
+        )
+        delta_pages = (child.region_base - proc.region_base) // page
+
+        # 2. duplicate parent state page by page
+        if self.eager_copy or self.copy_strategy is CopyStrategy.FULL_COPY:
+            eager = self._eager_vpns(proc)
+        else:
+            eager = set()
+        shm_vpns = getattr(proc, "shm_vpns", set())
+        lo = proc.region_base // page
+        hi = proc.region_top // page
+        for vpn in range(lo, hi):
+            parent_pte = self.space.page_table.get(vpn)
+            if parent_pte is None:
+                continue  # demand areas (mmap window) may be sparse
+            child_vpn = vpn + delta_pages
+            if vpn in shm_vpns:
+                # MAP_SHARED memory: same frames, by design (§3.7)
+                self.space.map_page(child_vpn, parent_pte.frame,
+                                    parent_pte.perms, incref=True)
+                machine.charge(machine.costs.pte_bulk_share_ns, "fork_map")
+            elif vpn in eager or self.copy_strategy is CopyStrategy.FULL_COPY:
+                orig = (parent_pte.note.orig_perms
+                        if isinstance(parent_pte.note, ShareNote)
+                        else parent_pte.perms)
+                copy_page_for_child(self.space, child_vpn, parent_pte.frame,
+                                    orig, regions, map_new=True)
+            else:
+                setup_shared_page(self.space, vpn, child_vpn,
+                                  self.copy_strategy, regions)
+
+        # shared-memory bindings carry over to the child's region
+        child.shm_vpns = {vpn + delta_pages for vpn in shm_vpns}
+        child.shm_bindings = list(getattr(proc, "shm_bindings", []))
+        child.mmap_offset = getattr(proc, "mmap_offset", 0)
+        # shared-library capabilities point at the child's own mapping
+        delta = child.region_base - proc.region_base
+        child.lib_caps = {
+            name: cap.rebased(delta)
+            for name, cap in getattr(proc, "lib_caps", {}).items()
+        }
+
+        # 3. post-copy phase: new task, relocated registers, allocator
+        task = child.add_task()
+        for name, value in proc.main_task().registers.items():
+            task.registers.set(name, value)
+        relocate_registers(machine, task.registers, regions)
+
+        heap_cap = (
+            self.kernel_root
+            .set_bounds(child.layout.base("heap"),
+                        child.layout.size("heap"))
+            .with_cursor(child.layout.base("heap"))
+            .and_perms(Perm.data_rw())
+        )
+        child.allocator = type(proc.allocator)(
+            machine, self.space, heap_cap,
+            max_blocks=proc.allocator.max_blocks,
+        )
+        child.allocator.attach_lazy()
+
+        self._register_demand_heap(child)
+        self.procs.add(child)
+        self.sched.add(task)
+        machine.counters.add("fork")
+        machine.trace("fork", parent=proc.pid, child=child.pid,
+                      strategy=self.copy_strategy.value)
+        return child
+
+    def _eager_vpns(self, proc: Process) -> Set[int]:
+        """Pages copied proactively at fork: GOT + allocator metadata
+        (§3.5 step 1)."""
+        page = self.machine.config.page_size
+        vpns: Set[int] = set()
+        got_base, got_top = proc.layout.span("got")
+        vpns.update(range(got_base // page, got_top // page))
+        if proc.allocator is not None:
+            meta_base, meta_top = proc.allocator.metadata_span()
+            vpns.update(range(meta_base // page,
+                              (meta_top + page - 1) // page))
+        return vpns
+
+    # ------------------------------------------------------------------
+    # Exit / teardown
+    # ------------------------------------------------------------------
+
+    def _teardown_memory(self, proc: Process) -> None:
+        machine = self.machine
+        page = machine.config.page_size
+        self._demand_zero.pop(proc.pid, None)
+        machine.charge(machine.costs.uexit_ns, "exit")
+        for vpn in range(proc.region_base // page, proc.region_top // page):
+            if self.space.page_table.get(vpn) is not None:
+                self.space.unmap_page(vpn)
+        self.vspace.release(proc.region_base)
+
+    # ------------------------------------------------------------------
+    # Anonymous mmap and shared memory (§3.7, §4.2)
+    # ------------------------------------------------------------------
+
+    def sys_mmap(self, proc: Process, size: int) -> Capability:
+        """Anonymous private mapping inside the caller's mmap window;
+        returns a capability confined to the calling μprocess (§4.2)."""
+        self._enter(proc, "mmap", 1)
+        base, pages = self._mmap_window_alloc(proc, size)
+        page = self.machine.config.page_size
+        for index in range(pages):
+            frame = self.machine.phys.alloc(zero=True)
+            self.space.map_page(base // page + index, frame, PagePerm.rwc())
+        return self._window_cap(proc, base, pages * page)
+
+    def _map_shared(self, proc: Process, shm: SharedMemoryObject) -> Capability:
+        base, pages = self._mmap_window_alloc(
+            proc, shm.size_pages * self.machine.config.page_size
+        )
+        page = self.machine.config.page_size
+        if pages != shm.size_pages:
+            pages = shm.size_pages
+        vpns = []
+        for index, frame in enumerate(shm.frames):
+            vpn = base // page + index
+            self.space.map_page(vpn, frame, PagePerm.rwc(), incref=True)
+            vpns.append(vpn)
+        if not hasattr(proc, "shm_vpns"):
+            proc.shm_vpns = set()
+            proc.shm_bindings = []
+        proc.shm_vpns.update(vpns)
+        proc.shm_bindings.append((base - proc.layout.base("mmap"), shm))
+        return self._window_cap(proc, base, len(shm.frames) * page)
+
+    def _mmap_window_alloc(self, proc: Process, size: int):
+        page = self.machine.config.page_size
+        pages = (size + page - 1) // page
+        offset = getattr(proc, "mmap_offset", 0)
+        window_base, window_top = proc.layout.span("mmap")
+        base = window_base + offset
+        if base + pages * page > window_top:
+            from repro.errors import OutOfMemory
+            raise OutOfMemory("mmap window exhausted")
+        proc.mmap_offset = offset + pages * page
+        return base, pages
+
+    def _window_cap(self, proc: Process, base: int, size: int) -> Capability:
+        region = (
+            self.kernel_root
+            .set_bounds(base, size)
+            .with_cursor(base)
+            .and_perms(Perm.data_rw())
+        )
+        return region
+
+    # ------------------------------------------------------------------
+    # Migration / VA compaction (paper §6 future work)
+    # ------------------------------------------------------------------
+
+    def migrate(self, proc: Process) -> int:
+        """Move a live μprocess to a freshly reserved area, relocating
+        every capability (see :mod:`repro.core.migrate`)."""
+        from repro.core.migrate import migrate as _migrate
+        return _migrate(self, proc)
+
+    def compact(self):
+        """Compact the μprocess window (squeeze out VA fragmentation)."""
+        from repro.core.migrate import compact as _compact
+        return _compact(self)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def memory_of(self, proc: Process) -> float:
+        """Proportional resident set of a μprocess plus kernel overhead
+        (the Fig 8 metric)."""
+        return (
+            self.space.resident_bytes(proc.region_base, proc.region_top,
+                                      proportional=True)
+            + self.KERNEL_PROC_OVERHEAD
+        )
+
+    def private_bytes(self, proc: Process) -> int:
+        """Bytes of the region backed by frames only this process maps."""
+        page = self.machine.config.page_size
+        total = 0
+        for vpn in range(proc.region_base // page, proc.region_top // page):
+            pte = self.space.page_table.get(vpn)
+            if pte is not None and self.machine.phys.refcount(pte.frame) == 1:
+                total += page
+        return total

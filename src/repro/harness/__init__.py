@@ -1,0 +1,35 @@
+"""Experiment harness: one function per table/figure of the paper."""
+
+from repro.harness.experiments import (
+    fig3_redis_save,
+    fig4_redis_fork_latency,
+    fig5_redis_memory,
+    fig6_faas_throughput,
+    fig7_nginx_throughput,
+    fig8_hello_fork,
+    fig9_unixbench,
+    copa_ablation,
+    DEFAULT_DB_SIZES,
+    FULL_DB_SIZES,
+)
+from repro.harness.compat import compatibility_matrix, matrix_rows
+from repro.harness.report import format_table, print_table
+from repro.harness.table1 import table1_rows
+
+__all__ = [
+    "fig3_redis_save",
+    "fig4_redis_fork_latency",
+    "fig5_redis_memory",
+    "fig6_faas_throughput",
+    "fig7_nginx_throughput",
+    "fig8_hello_fork",
+    "fig9_unixbench",
+    "copa_ablation",
+    "DEFAULT_DB_SIZES",
+    "FULL_DB_SIZES",
+    "compatibility_matrix",
+    "matrix_rows",
+    "format_table",
+    "print_table",
+    "table1_rows",
+]

@@ -1,0 +1,100 @@
+"""Regenerate every table and figure from the command line.
+
+Usage::
+
+    python -m repro.harness            # scaled sweep (fast)
+    python -m repro.harness --full     # the paper's 100 KB-100 MB sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.experiments import (
+    DEFAULT_DB_SIZES,
+    FULL_DB_SIZES,
+    copa_ablation,
+    fig3_redis_save,
+    fig4_redis_fork_latency,
+    fig5_redis_memory,
+    fig6_faas_throughput,
+    fig7_nginx_throughput,
+    fig8_hello_fork,
+    fig9_unixbench,
+)
+from repro.harness.report import print_table
+from repro.harness.table1 import table1_rows
+from repro.mem.layout import MiB
+
+
+def _print_compat() -> None:
+    from repro.harness.compat import matrix_rows
+    print_table(matrix_rows(),
+                title="App x syscall compatibility matrix (Loupe-style)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the μFork paper's tables and figures."
+    )
+    parser.add_argument("--full", action="store_true",
+                        help="run the paper-scale 100 KB-100 MB sweep")
+    parser.add_argument("--only", metavar="NAME", default=None,
+                        help="run a single experiment "
+                             "(table1, fig3..fig9, ablation)")
+    args = parser.parse_args(argv)
+
+    sizes = FULL_DB_SIZES if args.full else DEFAULT_DB_SIZES
+    ablation_db = 100 * MiB if args.full else 10 * MiB
+    ctx1_fraction = 0.1 if args.full else 0.05
+
+    experiments = {
+        "table1": lambda: print_table(
+            table1_rows(), title="Table 1: SASOS fork systems"),
+        "fig3": lambda: print_table(
+            fig3_redis_save(sizes=sizes),
+            title="Figure 3: Redis DB overall save times (ms)"),
+        "fig4": lambda: print_table(
+            fig4_redis_fork_latency(sizes=sizes),
+            title="Figure 4: Redis fork latency (us)"),
+        "fig5": lambda: print_table(
+            fig5_redis_memory(sizes=sizes),
+            title="Figure 5: Redis forked-process memory (MB)"),
+        "fig6": lambda: print_table(
+            fig6_faas_throughput(),
+            title="Figure 6: FaaS function throughput (functions/s)"),
+        "fig7": lambda: print_table(
+            fig7_nginx_throughput(),
+            title="Figure 7: Nginx throughput (requests/s)"),
+        "fig8": lambda: print_table(
+            fig8_hello_fork(),
+            title="Figure 8: hello-world fork latency (us) / memory (MB)"),
+        "fig9": lambda: print_table(
+            fig9_unixbench(measured_fraction=ctx1_fraction),
+            title="Figure 9: Unixbench Spawn / Context1 (ms)"),
+        "ablation": lambda: print_table(
+            copa_ablation(db_bytes=ablation_db),
+            title=f"CoPA vs CoA vs full copy "
+                  f"({ablation_db // MiB} MB database)"),
+        "compat": lambda: _print_compat(),
+    }
+
+    names = [args.only] if args.only else list(experiments)
+    unknown = [name for name in names if name not in experiments]
+    if unknown:
+        parser.error(f"unknown experiment(s): {unknown}; "
+                     f"choose from {list(experiments)}")
+
+    started = time.time()
+    for index, name in enumerate(names):
+        if index:
+            print()
+        experiments[name]()
+    print(f"\n[{time.time() - started:.1f}s host time]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Application/syscall compatibility matrix (Loupe-style).
+
+The paper builds on Unikraft for its "large compatibility with
+unmodified applications" (§4, citing Loupe).  This module measures that
+compatibility claim for the reproduction: it runs each workload's
+representative scenario on a fresh μFork machine and records exactly
+which syscalls it exercised, producing the app × syscall matrix a
+compatibility-layer developer would start from.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.apps.guest import GuestContext
+from repro.core import UForkOS
+from repro.machine import Machine
+
+
+def _run_hello(os_: UForkOS) -> None:
+    from repro.apps.hello import hello_world_image, run_hello
+    ctx = GuestContext(os_, os_.spawn(hello_world_image(), "hello"))
+    run_hello(ctx)
+    child = ctx.fork()
+    child.exit(0)
+    ctx.wait(child.pid)
+
+
+def _run_redis(os_: UForkOS) -> None:
+    from repro.apps.redis import MiniRedis, redis_image
+    from repro.mem.layout import MiB
+    proc = os_.spawn(redis_image(1 * MiB), "redis")
+    store = MiniRedis(GuestContext(os_, proc), nbuckets=64)
+    store.set(b"k", b"v")
+    store.get(b"k")
+    store.bgsave("/dump.rdb")
+    store.load_from("/dump.rdb")
+
+
+def _run_faas(os_: UForkOS) -> None:
+    from repro.apps.faas import ZygoteRuntime, faas_image
+    runtime = ZygoteRuntime(GuestContext(os_, os_.spawn(faas_image(), "z")))
+    runtime.warm()
+    runtime.handle_request()
+
+
+def _run_nginx(os_: UForkOS) -> None:
+    from repro.apps.nginx import MiniNginx, WrkClient, nginx_image
+    master = GuestContext(os_, os_.spawn(nginx_image(), "nginx"))
+    server = MiniNginx(master)
+    server.fork_workers(1)
+    wrk = WrkClient(GuestContext(os_, os_.spawn(nginx_image(), "wrk")))
+    fd = wrk.issue()
+    server.serve_one(server.workers[0])
+    wrk.complete(fd)
+    server.shutdown()
+
+
+def _run_qmail(os_: UForkOS) -> None:
+    from repro.apps.qmail import MiniQmail, qmail_image, send_mail
+    master = GuestContext(os_, os_.spawn(qmail_image(), "qmail"))
+    server = MiniQmail(master)
+    server.start()
+    client = GuestContext(os_, os_.spawn(qmail_image(), "client"))
+    send_mail(client, b"alice", b"hi")
+    server.smtpd_handle_one()
+    server.local_deliver_all()
+    server.shutdown()
+
+
+def _run_unixbench(os_: UForkOS) -> None:
+    from repro.apps import unixbench
+    from repro.apps.hello import hello_world_image
+    ctx = GuestContext(os_, os_.spawn(hello_world_image(), "bench"))
+    unixbench.spawn(ctx, iterations=2)
+    unixbench.context1(ctx, target=3)
+
+
+WORKLOADS: Dict[str, Callable[[UForkOS], None]] = {
+    "hello": _run_hello,
+    "redis": _run_redis,
+    "faas": _run_faas,
+    "nginx": _run_nginx,
+    "qmail": _run_qmail,
+    "unixbench": _run_unixbench,
+}
+
+
+def syscalls_used(run: Callable[[UForkOS], None]) -> Dict[str, int]:
+    """Run one workload hermetically; returns syscall → count."""
+    os_ = UForkOS(machine=Machine())
+    run(os_)
+    return {
+        name[len("syscall_"):]: count
+        for name, count in os_.machine.counters.snapshot().items()
+        if name.startswith("syscall_") and count > 0
+    }
+
+
+def compatibility_matrix() -> Tuple[List[str], Dict[str, Dict[str, int]]]:
+    """(all syscalls sorted, app → syscall → count)."""
+    per_app = {name: syscalls_used(run) for name, run in WORKLOADS.items()}
+    all_syscalls = sorted({
+        syscall for used in per_app.values() for syscall in used
+    })
+    return all_syscalls, per_app
+
+
+def matrix_rows() -> List[Dict[str, Any]]:
+    """Rows for rendering: one per syscall, an x per app using it."""
+    all_syscalls, per_app = compatibility_matrix()
+    rows = []
+    for syscall in all_syscalls:
+        row: Dict[str, Any] = {"syscall": syscall}
+        for app in WORKLOADS:
+            row[app] = "x" if syscall in per_app[app] else ""
+        rows.append(row)
+    return rows

@@ -1,0 +1,61 @@
+"""Plain-text rendering of experiment results.
+
+Each experiment returns a list of row dicts; these helpers render them
+as the aligned tables EXPERIMENTS.md and the benchmark output use.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict[str, Any]],
+                 columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None) -> str:
+    """Render rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_format_value(row.get(col, "")) for col in columns]
+             for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells))
+        for i, col in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for line in cells:
+        lines.append("  ".join(cell.rjust(widths[i])
+                               for i, cell in enumerate(line)))
+    return "\n".join(lines)
+
+
+def print_table(rows: Sequence[Dict[str, Any]],
+                columns: Optional[Sequence[str]] = None,
+                title: Optional[str] = None) -> None:
+    print(format_table(rows, columns, title))
+
+
+def human_size(num_bytes: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(num_bytes) < 1024:
+            return f"{num_bytes:.0f}{unit}"
+        num_bytes /= 1024
+    return f"{num_bytes:.1f}TB"

@@ -1,0 +1,65 @@
+"""Table 1: qualitative comparison of SASOS fork systems.
+
+The table's properties are encoded as data so tests can assert the
+claims (e.g. μFork is the only row with SAS + Isolation + SC + fast
+IPC + no segment-relative addressing + full fork).  Column legend, as
+in the paper: SAS = single address space; SC = self-contained (no
+infrastructure changes); Seg = segment-relative addressing; f+e only =
+supports only the fork+exec pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, asdict
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class SystemRow:
+    system: str
+    sas: bool
+    isolation: bool
+    self_contained: bool
+    ipc: str  # "fast" | "medium" | "slow"
+    segment_relative: bool
+    fork_exec_only: bool
+
+
+TABLE1: List[SystemRow] = [
+    SystemRow("Angel", True, True, True, "fast", True, False),
+    SystemRow("Mungi", True, True, True, "fast", True, False),
+    SystemRow("Nephele", False, True, False, "medium", False, False),
+    SystemRow("KylinX", False, True, False, "medium", False, False),
+    SystemRow("Graphene", False, True, False, "medium", False, False),
+    SystemRow("Graphene-SGX", False, True, False, "slow", False, False),
+    SystemRow("Iso-Unik", False, True, True, "medium", False, False),
+    SystemRow("OSv", True, False, True, "fast", False, True),
+    SystemRow("Junction", True, False, False, "medium", False, True),
+    SystemRow("uFork", True, True, True, "fast", False, False),
+]
+
+
+def table1_rows() -> List[Dict[str, object]]:
+    """Rows for rendering, with Yes/No strings like the paper."""
+    def yn(flag: bool) -> str:
+        return "Yes" if flag else "No"
+
+    rows = []
+    for row in TABLE1:
+        rows.append({
+            "System": row.system,
+            "SAS": yn(row.sas),
+            "Isolation": yn(row.isolation),
+            "SC": yn(row.self_contained),
+            "IPCs": row.ipc.capitalize(),
+            "Seg": yn(row.segment_relative),
+            "f+e only": yn(row.fork_exec_only),
+        })
+    return rows
+
+
+def satisfies_all_goals(row: SystemRow) -> bool:
+    """The paper's claim: only μFork hits every objective."""
+    return (row.sas and row.isolation and row.self_contained
+            and row.ipc == "fast" and not row.segment_relative
+            and not row.fork_exec_only)

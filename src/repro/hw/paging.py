@@ -1,0 +1,304 @@
+"""Page tables, address spaces, and fault dispatch.
+
+An :class:`AddressSpace` is a page table bound to the machine's physical
+memory.  The SASOS owns exactly one (kernel and every μprocess live in
+it); the monolithic baseline creates one per process.
+
+Faults are the extension point that makes the μFork copy strategies
+work: when an access violates page permissions (or hits an unmapped
+page) the address space charges the fault cost and calls the registered
+fault handler.  CoW, CoA and CoPA are all implemented as fault handlers
+(:mod:`repro.core.strategies`); the dedicated *capability-load* access
+kind models CHERI's fault-on-capability-load page permission that CoPA
+requires (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, IntFlag, auto
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+from repro.cheri.capability import Capability
+from repro.cheri.codec import CAP_SIZE
+from repro.errors import (
+    ProtectionError,
+    UnmappedAddressError,
+)
+from repro.hw.phys import Frame
+
+
+class PagePerm(IntFlag):
+    """Page-table permission bits."""
+
+    NONE = 0
+    READ = 1 << 0
+    WRITE = 1 << 1
+    EXEC = 1 << 2
+    #: CHERI page permission: when absent, *loading a capability* from
+    #: the page faults even though plain data loads succeed.  This is
+    #: the hardware hook CoPA is built on.
+    LOAD_CAP = 1 << 3
+
+    @classmethod
+    def rwc(cls) -> "PagePerm":
+        return cls.READ | cls.WRITE | cls.LOAD_CAP
+
+    @classmethod
+    def read_only(cls) -> "PagePerm":
+        return cls.READ | cls.LOAD_CAP
+
+    @classmethod
+    def rx(cls) -> "PagePerm":
+        return cls.READ | cls.EXEC | cls.LOAD_CAP
+
+
+class AccessKind(Enum):
+    READ = auto()
+    WRITE = auto()
+    EXEC = auto()
+    #: a capability (tagged, 16-byte) load — distinct so the CoPA
+    #: fault-on-capability-load bit can be modeled
+    CAP_LOAD = auto()
+
+    @property
+    def is_write(self) -> bool:
+        return self is AccessKind.WRITE
+
+
+_REQUIRED_PERM = {
+    AccessKind.READ: PagePerm.READ,
+    AccessKind.WRITE: PagePerm.WRITE,
+    AccessKind.EXEC: PagePerm.EXEC,
+    AccessKind.CAP_LOAD: PagePerm.READ | PagePerm.LOAD_CAP,
+}
+
+_ACCESS_NAME = {
+    AccessKind.READ: "read",
+    AccessKind.WRITE: "write",
+    AccessKind.EXEC: "exec",
+    AccessKind.CAP_LOAD: "cap_load",
+}
+
+
+@dataclass
+class PTE:
+    """One page-table entry."""
+
+    frame: int
+    perms: PagePerm
+    #: classic copy-on-write marker (monolithic baseline)
+    cow: bool = False
+    #: free-form slot for the owning OS (μFork strategies stash the
+    #: fork-sharing record here)
+    note: Any = None
+
+
+class PageTable:
+    """A sparse vpn → PTE map (no multi-level radix detail needed)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, PTE] = {}
+
+    def get(self, vpn: int) -> Optional[PTE]:
+        return self._entries.get(vpn)
+
+    def set(self, vpn: int, pte: PTE) -> None:
+        self._entries[vpn] = pte
+
+    def remove(self, vpn: int) -> PTE:
+        return self._entries.pop(vpn)
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> Iterator[Tuple[int, PTE]]:
+        return iter(self._entries.items())
+
+    def vpns(self) -> Iterator[int]:
+        return iter(self._entries.keys())
+
+
+#: fault handler: (space, vaddr, kind) -> True if resolved (retry access)
+FaultHandler = Callable[["AddressSpace", int, AccessKind], bool]
+
+
+class AddressSpace:
+    """A page table plus access methods with fault dispatch.
+
+    ``machine`` is any object exposing ``config``, ``costs``, ``clock``,
+    ``counters``, ``phys`` and ``codec`` (see :class:`repro.machine.Machine`).
+    """
+
+    def __init__(self, machine: Any, name: str = "as") -> None:
+        self.machine = machine
+        self.name = name
+        self.page_table = PageTable()
+        self.fault_handler: Optional[FaultHandler] = None
+        self._page_size = machine.config.page_size
+
+    # -- mapping ------------------------------------------------------------
+
+    def map_page(self, vpn: int, frame: int, perms: PagePerm,
+                 incref: bool = False, cow: bool = False,
+                 note: Any = None) -> PTE:
+        if vpn in self.page_table:
+            raise ValueError(f"vpn {vpn:#x} already mapped in {self.name}")
+        if incref:
+            self.machine.phys.incref(frame)
+        pte = PTE(frame=frame, perms=perms, cow=cow, note=note)
+        self.page_table.set(vpn, pte)
+        return pte
+
+    def unmap_page(self, vpn: int, decref: bool = True) -> int:
+        pte = self.page_table.remove(vpn)
+        if decref:
+            self.machine.phys.decref(pte.frame)
+        return pte.frame
+
+    def protect_page(self, vpn: int, perms: PagePerm) -> None:
+        pte = self.page_table.get(vpn)
+        if pte is None:
+            raise KeyError(f"vpn {vpn:#x} not mapped")
+        pte.perms = perms
+
+    def replace_frame(self, vpn: int, frame: int, decref_old: bool = True) -> None:
+        """Point an existing mapping at a different frame (CoW break)."""
+        pte = self.page_table.get(vpn)
+        if pte is None:
+            raise KeyError(f"vpn {vpn:#x} not mapped")
+        if decref_old:
+            self.machine.phys.decref(pte.frame)
+        pte.frame = frame
+
+    # -- translation with fault dispatch ---------------------------------------
+
+    def _vpn(self, vaddr: int) -> int:
+        return vaddr // self._page_size
+
+    def resolve(self, vaddr: int, kind: AccessKind,
+                privileged: bool = False) -> Tuple[Frame, int]:
+        """Translate an address, dispatching faults at most once."""
+        vpn = self._vpn(vaddr)
+        for attempt in (0, 1):
+            pte = self.page_table.get(vpn)
+            if pte is not None:
+                if privileged:
+                    return self.machine.phys.frame(pte.frame), vaddr % self._page_size
+                required = _REQUIRED_PERM[kind]
+                if (pte.perms & required) == required:
+                    return self.machine.phys.frame(pte.frame), vaddr % self._page_size
+            if attempt == 1:
+                break
+            if not self._dispatch_fault(vaddr, kind):
+                break
+        if self.page_table.get(vpn) is None:
+            raise UnmappedAddressError(vaddr, _ACCESS_NAME[kind])
+        raise ProtectionError(vaddr, _ACCESS_NAME[kind])
+
+    def _dispatch_fault(self, vaddr: int, kind: AccessKind) -> bool:
+        machine = self.machine
+        machine.clock.advance(machine.costs.page_fault_ns, "page_fault")
+        machine.counters.add(f"fault_{_ACCESS_NAME[kind]}")
+        machine.trace("page_fault", vaddr=vaddr, kind=_ACCESS_NAME[kind],
+                      space=self.name)
+        if self.fault_handler is None:
+            return False
+        return self.fault_handler(self, vaddr, kind)
+
+    # -- byte access ------------------------------------------------------------
+
+    def read(self, vaddr: int, size: int, privileged: bool = False,
+             charge: bool = True) -> bytes:
+        """Read bytes (may span pages)."""
+        out = bytearray()
+        remaining = size
+        addr = vaddr
+        while remaining > 0:
+            frame, offset = self.resolve(addr, AccessKind.READ, privileged)
+            chunk = min(remaining, self._page_size - offset)
+            out += frame.read(offset, chunk)
+            addr += chunk
+            remaining -= chunk
+        if charge:
+            self.machine.clock.advance(
+                self.machine.costs.memcpy_ns_per_byte * size, "mem_read"
+            )
+        return bytes(out)
+
+    def write(self, vaddr: int, data: bytes, privileged: bool = False,
+              charge: bool = True) -> None:
+        """Write bytes (may span pages); clears tags of touched granules."""
+        offset_in_data = 0
+        addr = vaddr
+        remaining = len(data)
+        while remaining > 0:
+            frame, offset = self.resolve(addr, AccessKind.WRITE, privileged)
+            chunk = min(remaining, self._page_size - offset)
+            frame.write(offset, data[offset_in_data:offset_in_data + chunk])
+            addr += chunk
+            offset_in_data += chunk
+            remaining -= chunk
+        if charge:
+            self.machine.clock.advance(
+                self.machine.costs.memcpy_ns_per_byte * len(data), "mem_write"
+            )
+
+    # -- capability access ----------------------------------------------------------
+
+    def load_cap(self, vaddr: int, privileged: bool = False) -> Capability:
+        """Load one capability granule (subject to the CoPA fault bit)."""
+        kind = AccessKind.CAP_LOAD
+        frame, offset = self.resolve(vaddr, kind, privileged)
+        return frame.load_cap(offset, self.machine.codec)
+
+    def store_cap(self, vaddr: int, cap: Capability,
+                  privileged: bool = False) -> None:
+        frame, offset = self.resolve(vaddr, AccessKind.WRITE, privileged)
+        frame.store_cap(offset, cap, self.machine.codec)
+
+    # -- accounting -----------------------------------------------------------------
+
+    def resident_bytes(self, lo_vaddr: int, hi_vaddr: int,
+                       proportional: bool = True) -> float:
+        """Resident set of the VA range [lo, hi).
+
+        With ``proportional`` (the paper's metric, §5.2) each mapped page
+        contributes ``page_size / frame_refcount`` so memory shared with
+        another process is split between its sharers.
+        """
+        lo_vpn = lo_vaddr // self._page_size
+        hi_vpn = (hi_vaddr + self._page_size - 1) // self._page_size
+        total = 0.0
+        for vpn, pte in self.page_table.entries():
+            if lo_vpn <= vpn < hi_vpn:
+                if proportional:
+                    total += self._page_size / self.machine.phys.refcount(pte.frame)
+                else:
+                    total += self._page_size
+        return total
+
+    def mapped_pages(self, lo_vaddr: int, hi_vaddr: int) -> int:
+        lo_vpn = lo_vaddr // self._page_size
+        hi_vpn = (hi_vaddr + self._page_size - 1) // self._page_size
+        return sum(
+            1 for vpn in self.page_table.vpns() if lo_vpn <= vpn < hi_vpn
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AddressSpace({self.name!r}, pages={len(self.page_table)})"
+
+
+# re-export for convenience
+__all__ = [
+    "AccessKind",
+    "AddressSpace",
+    "FaultHandler",
+    "PTE",
+    "PagePerm",
+    "PageTable",
+    "CAP_SIZE",
+]

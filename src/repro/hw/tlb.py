@@ -1,0 +1,25 @@
+"""A minimal TLB cost model.
+
+The reproduction does not simulate TLB *contents*; what matters for the
+paper's lightweightness argument (§2.2) is the *cost* of TLB shootdowns
+and flushes that multi-address-space OSes pay on every context switch —
+and that the single-address-space design avoids entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class TLB:
+    """Tracks flushes and charges their cost to the simulated clock."""
+
+    def __init__(self, machine: Any) -> None:
+        self._machine = machine
+        self.flush_count = 0
+
+    def flush(self) -> None:
+        """Full flush — paid by the monolithic OS on address-space switch."""
+        self.flush_count += 1
+        self._machine.clock.advance(self._machine.costs.tlb_flush_ns, "tlb_flush")
+        self._machine.counters.add("tlb_flush")

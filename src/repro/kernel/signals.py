@@ -1,0 +1,103 @@
+"""Per-process POSIX signals.
+
+Paper §4.5 lists "per process signals" among the kernel state a SASOS
+must grow to support μprocesses.  The model implements the subset the
+fork patterns need:
+
+* ``kill`` queues a signal on the target process;
+* ``SIGKILL`` cannot be caught and terminates immediately;
+* ``SIGCHLD`` is queued to the parent when a child exits;
+* handlers registered with ``signal`` are **inherited across fork**
+  (POSIX), while *pending* signals are not;
+* delivery happens at kernel-boundary crossings (syscall entry), like a
+  real kernel delivering on return-to-user.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import InvalidArgument
+
+SIGKILL = 9
+SIGUSR1 = 10
+SIGUSR2 = 12
+SIGTERM = 15
+SIGCHLD = 17
+
+_CATCHABLE = {SIGUSR1, SIGUSR2, SIGTERM, SIGCHLD}
+ALL_SIGNALS = _CATCHABLE | {SIGKILL}
+
+#: handler(proc, signum) — runs in "user context" at delivery
+Handler = Callable[[Any, int], None]
+
+SIG_DFL = "default"
+SIG_IGN = "ignore"
+
+
+class SignalState:
+    """Per-process signal bookkeeping (lives on the Process object)."""
+
+    def __init__(self) -> None:
+        self.handlers: Dict[int, Any] = {}
+        self.pending: List[int] = []
+
+    def fork_copy(self) -> "SignalState":
+        """POSIX: the child inherits dispositions, not pending signals."""
+        child = SignalState()
+        child.handlers = dict(self.handlers)
+        return child
+
+
+def signal_state(proc: Any) -> SignalState:
+    state = getattr(proc, "signal_state", None)
+    if state is None:
+        state = SignalState()
+        proc.signal_state = state
+    return state
+
+
+def register(proc: Any, signum: int, handler: Any) -> None:
+    """signal(2): install a handler, SIG_IGN, or SIG_DFL."""
+    if signum not in ALL_SIGNALS:
+        raise InvalidArgument(f"bad signal {signum}")
+    if signum == SIGKILL:
+        raise InvalidArgument("SIGKILL cannot be caught or ignored")
+    signal_state(proc).handlers[signum] = handler
+
+
+def send(os: Any, target: Any, signum: int) -> None:
+    """kill(2) body: queue (or act on) a signal."""
+    if signum not in ALL_SIGNALS:
+        raise InvalidArgument(f"bad signal {signum}")
+    if not target.alive:
+        return
+    if signum == SIGKILL:
+        os._exit_process(target, 128 + SIGKILL)
+        return
+    signal_state(target).pending.append(signum)
+
+
+def deliver_pending(os: Any, proc: Any) -> List[int]:
+    """Deliver queued signals; returns the signums acted upon.
+
+    Default dispositions: SIGTERM terminates (128+sig); SIGCHLD and the
+    user signals are ignored by default.
+    """
+    state = signal_state(proc)
+    delivered: List[int] = []
+    while state.pending and proc.alive:
+        signum = state.pending.pop(0)
+        delivered.append(signum)
+        handler = state.handlers.get(signum, SIG_DFL)
+        if handler == SIG_IGN:
+            continue
+        if handler == SIG_DFL:
+            if signum == SIGTERM:
+                os._exit_process(proc, 128 + SIGTERM)
+            continue
+        # user handler: charge a user/kernel transition and run it
+        os.machine.charge(os.machine.costs.context_switch_sas_ns,
+                          "signal_delivery")
+        handler(proc, signum)
+    return delivered

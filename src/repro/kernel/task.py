@@ -1,0 +1,148 @@
+"""Tasks, μprocesses and PIDs.
+
+In μFork "each thread is associated with a μprocess ID; each μprocess
+may have many threads" (§3.4, block 1).  A :class:`Task` is one thread
+of execution with its own capability register file; a :class:`Process`
+is the kernel-side process object (task group, memory region, FD table,
+wait/exit state) shared by the SASOS and — with a per-process address
+space attached — by the monolithic baseline.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+from typing import Any, Dict, List, Optional
+
+from repro.cheri.regfile import RegisterFile
+from repro.errors import NoSuchProcess
+
+
+class TaskState(Enum):
+    RUNNABLE = auto()
+    BLOCKED = auto()
+    EXITED = auto()
+
+
+class Task:
+    """One thread of execution."""
+
+    _next_tid = 1
+
+    def __init__(self, process: "Process") -> None:
+        self.tid = Task._next_tid
+        Task._next_tid += 1
+        self.process = process
+        self.registers = RegisterFile()
+        self.state = TaskState.RUNNABLE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Task(tid={self.tid}, pid={self.process.pid}, {self.state.name})"
+
+
+class Process:
+    """Kernel-side process object (a μprocess on the SASOS)."""
+
+    def __init__(self, pid: int, name: str,
+                 parent: Optional["Process"] = None) -> None:
+        self.pid = pid
+        self.name = name
+        self.parent = parent
+        self.children: List[Process] = []
+        if parent is not None:
+            parent.children.append(self)
+        self.tasks: List[Task] = []
+        #: exit status once exited; ``None`` while alive
+        self.exit_status: Optional[int] = None
+        self.reaped = False
+        # Memory attachments, filled in by the owning OS:
+        #: contiguous region (SASOS) — (base, top)
+        self.region_base: int = 0
+        self.region_top: int = 0
+        #: resolved segment layout
+        self.layout: Any = None
+        #: per-process guest heap allocator
+        self.allocator: Any = None
+        #: per-process address space (monolithic baseline only)
+        self.space: Any = None
+        #: per-process file descriptor table
+        self.fdtable: Any = None
+        #: sealed syscall-entry capability handed out at load (SASOS)
+        self.syscall_gate: Any = None
+
+    # -- threads --------------------------------------------------------
+
+    def main_task(self) -> Task:
+        if not self.tasks:
+            raise NoSuchProcess(f"process {self.pid} has no tasks")
+        return self.tasks[0]
+
+    def add_task(self) -> Task:
+        task = Task(self)
+        self.tasks.append(task)
+        return task
+
+    @property
+    def registers(self) -> RegisterFile:
+        return self.main_task().registers
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self.exit_status is None
+
+    @property
+    def region_size(self) -> int:
+        return self.region_top - self.region_base
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "alive" if self.alive else f"exited({self.exit_status})"
+        return f"Process(pid={self.pid}, {self.name!r}, {status})"
+
+
+class PidAllocator:
+    """Monotonically increasing PID allocation.
+
+    The PID is "stored in a memory location which cannot be modified by
+    any μprocess" (§3.5); here the kernel-private Python object plays
+    that role — user code never gets a writable capability to it.
+    """
+
+    def __init__(self, first_pid: int = 1) -> None:
+        self._next = first_pid
+
+    def allocate(self) -> int:
+        pid = self._next
+        self._next += 1
+        return pid
+
+
+class ProcessTable:
+    """pid → process map with lookup helpers."""
+
+    def __init__(self) -> None:
+        self._procs: Dict[int, Process] = {}
+
+    def add(self, proc: Process) -> None:
+        self._procs[proc.pid] = proc
+
+    def get(self, pid: int) -> Process:
+        proc = self._procs.get(pid)
+        if proc is None:
+            raise NoSuchProcess(f"no process with pid {pid}")
+        return proc
+
+    def remove(self, pid: int) -> None:
+        self._procs.pop(pid, None)
+
+    def alive(self) -> List[Process]:
+        return [p for p in self._procs.values() if p.alive]
+
+    def all(self) -> List[Process]:
+        return list(self._procs.values())
+
+    def __len__(self) -> int:
+        return len(self._procs)
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self._procs

@@ -1,0 +1,58 @@
+"""The simulated Morello-like machine.
+
+A :class:`Machine` bundles the shared hardware state — configuration,
+cost model, clock, counters, physical memory, capability codec, cores —
+that every address space, kernel and application in one experiment uses.
+Experiments create one Machine per measured configuration, which keeps
+runs hermetic and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.cheri.codec import CapabilityCodec
+from repro.clock import EventCounters, SimClock
+from repro.hw.cpu import Core
+from repro.hw.phys import PhysicalMemory
+from repro.hw.tlb import TLB
+from repro.params import DEFAULT_COSTS, DEFAULT_MACHINE, CostModel, MachineConfig
+
+
+class Machine:
+    """Shared simulated-hardware state for one experiment run."""
+
+    def __init__(self, config: Optional[MachineConfig] = None,
+                 costs: Optional[CostModel] = None, seed: int = 0) -> None:
+        self.config = config or DEFAULT_MACHINE
+        self.costs = costs or DEFAULT_COSTS
+        self.clock = SimClock()
+        self.counters = EventCounters()
+        self.phys = PhysicalMemory(self.config, self.costs, self.clock,
+                                   self.counters)
+        self.codec = CapabilityCodec()
+        self.tlb = TLB(self)
+        self.cores: List[Core] = [
+            Core(self, core_id) for core_id in range(self.config.cores)
+        ]
+        #: deterministic randomness source (ASLR etc.)
+        self.rng = random.Random(seed)
+        #: optional structured-event tracer (see :mod:`repro.trace`)
+        self.tracer = None
+
+    def charge(self, ns: float, bucket: Optional[str] = None) -> None:
+        """Charge simulated time (convenience passthrough to the clock)."""
+        self.clock.advance(ns, bucket)
+
+    def trace(self, event: str, **fields) -> None:
+        """Record a structured trace event (no-op without a tracer)."""
+        if self.tracer is not None:
+            self.tracer.record(event, **fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Machine(cores={len(self.cores)}, "
+            f"now={self.clock.now_us:.1f}us, "
+            f"frames={self.phys.allocated_frames})"
+        )

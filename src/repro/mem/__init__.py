@@ -1,0 +1,14 @@
+"""Memory management: program layout, VA reservation, guest allocator."""
+
+from repro.mem.layout import ProgramImage, SegmentMap, SegmentSpec
+from repro.mem.vspace import VirtualAreaAllocator
+from repro.mem.allocator import GuestAllocator, ALLOC_RECORD_SIZE
+
+__all__ = [
+    "ProgramImage",
+    "SegmentMap",
+    "SegmentSpec",
+    "VirtualAreaAllocator",
+    "GuestAllocator",
+    "ALLOC_RECORD_SIZE",
+]

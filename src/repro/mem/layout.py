@@ -1,0 +1,156 @@
+"""μprocess memory layout (paper §3.7, Figure 1).
+
+Every μprocess occupies one *contiguous* area of the single virtual
+address space, which is what lets CHERI's contiguous-bounds capabilities
+confine it cheaply.  Within the area the segments follow the classic
+PIC/PIE layout: code, read-only data, writable data, GOT, TLS, heap,
+and a stack at the top.
+
+A :class:`ProgramImage` describes segment sizes for a program (the
+build-time view); a :class:`SegmentMap` is that image resolved against a
+concrete region base address (the loaded view).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.cheri.capability import Perm
+from repro.hw.paging import PagePerm
+
+KiB = 1024
+MiB = 1024 * KiB
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """One segment of a program image."""
+
+    name: str
+    size: int
+    page_perms: PagePerm
+    cap_perms: Perm
+    #: segments whose initial content includes capabilities (GOT, data
+    #: with pointer globals); μFork must eagerly copy + relocate these
+    holds_caps: bool = False
+
+
+@dataclass(frozen=True)
+class ProgramImage:
+    """Build-time description of a program: segment sizes.
+
+    ``heap_size`` is the build-time-configurable static heap of §4.2;
+    ``got_entries`` models the global offset table PIC code indirects
+    through (16 bytes per entry, one page minimum).
+    """
+
+    name: str
+    code_size: int = 64 * KiB
+    rodata_size: int = 16 * KiB
+    data_size: int = 16 * KiB
+    got_entries: int = 128
+    tls_size: int = 4 * KiB
+    heap_size: int = 1 * MiB
+    #: demand window for anonymous mmap / shared-memory mappings; pages
+    #: are mapped on request, not at load
+    mmap_size: int = 256 * KiB
+    stack_size: int = 64 * KiB
+    #: names of shared libraries to map at load (§3.7); each occupies
+    #: part of the mmap window with machine-wide shared frames
+    shared_libs: tuple = ()
+    #: when set, only this many bytes of the heap are mapped at load and
+    #: the rest is demand-zero paged — the "dynamic heaps" alternative
+    #: the paper's modular prototype allows (§4.2, R4).  ``None`` keeps
+    #: the paper's default: a fully mapped static heap.
+    heap_initial: int = None
+
+    @property
+    def got_size(self) -> int:
+        return max(4 * KiB, self.got_entries * 16)
+
+    def segments(self) -> List[SegmentSpec]:
+        return [
+            SegmentSpec("code", self.code_size, PagePerm.rx(), Perm.code()),
+            SegmentSpec("rodata", self.rodata_size, PagePerm.read_only(),
+                        Perm.data_ro()),
+            SegmentSpec("data", self.data_size, PagePerm.rwc(),
+                        Perm.data_rw(), holds_caps=True),
+            SegmentSpec("got", self.got_size, PagePerm.rwc(),
+                        Perm.data_rw(), holds_caps=True),
+            SegmentSpec("tls", self.tls_size, PagePerm.rwc(), Perm.data_rw()),
+            SegmentSpec("heap", self.heap_size, PagePerm.rwc(),
+                        Perm.data_rw(), holds_caps=True),
+            SegmentSpec("mmap", self.mmap_size, PagePerm.rwc(),
+                        Perm.data_rw(), holds_caps=True),
+            SegmentSpec("stack", self.stack_size, PagePerm.rwc(),
+                        Perm.data_rw(), holds_caps=True),
+        ]
+
+    def region_size(self, page_size: int) -> int:
+        """Total contiguous VA the loaded μprocess needs."""
+        total = 0
+        for segment in self.segments():
+            total += _page_align(segment.size, page_size)
+        return total
+
+
+def _page_align(value: int, page_size: int) -> int:
+    return (value + page_size - 1) // page_size * page_size
+
+
+@dataclass
+class SegmentMap:
+    """A :class:`ProgramImage` resolved against a region base address."""
+
+    image: ProgramImage
+    region_base: int
+    page_size: int
+    _spans: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        cursor = self.region_base
+        for segment in self.image.segments():
+            size = _page_align(segment.size, self.page_size)
+            self._spans[segment.name] = (cursor, size)
+            cursor += size
+        self.region_top = cursor
+
+    @property
+    def region_size(self) -> int:
+        return self.region_top - self.region_base
+
+    def base(self, name: str) -> int:
+        return self._spans[name][0]
+
+    def size(self, name: str) -> int:
+        return self._spans[name][1]
+
+    def top(self, name: str) -> int:
+        base, size = self._spans[name]
+        return base + size
+
+    def span(self, name: str) -> Tuple[int, int]:
+        """(base, top) of a segment."""
+        base, size = self._spans[name]
+        return base, base + size
+
+    def segment_of(self, vaddr: int) -> str:
+        for name, (base, size) in self._spans.items():
+            if base <= vaddr < base + size:
+                return name
+        raise KeyError(f"address {vaddr:#x} outside region")
+
+    def contains(self, vaddr: int) -> bool:
+        return self.region_base <= vaddr < self.region_top
+
+    def iter_segments(self) -> Iterator[Tuple[SegmentSpec, int, int]]:
+        """Yield (spec, base, size) for every segment."""
+        for spec in self.image.segments():
+            base, size = self._spans[spec.name]
+            yield spec, base, size
+
+    def rebased(self, new_base: int) -> "SegmentMap":
+        """The same layout at a different region base (the child's view
+        after μFork)."""
+        return SegmentMap(self.image, new_base, self.page_size)

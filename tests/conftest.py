@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import Machine
+from repro.params import CostModel, MachineConfig
+
+
+@pytest.fixture
+def machine() -> Machine:
+    """A fresh default machine per test."""
+    return Machine()
+
+
+@pytest.fixture
+def small_machine() -> Machine:
+    """A machine with tiny DRAM, handy for out-of-memory paths."""
+    config = MachineConfig(dram_bytes=64 * 4096)
+    return Machine(config=config, costs=CostModel.morello())

@@ -1,0 +1,186 @@
+"""Tests for the in-guest-memory heap allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cheri.capability import Capability, Perm
+from repro.errors import InvalidArgument, OutOfMemory
+from repro.hw.paging import AddressSpace, PagePerm
+from repro.machine import Machine
+from repro.mem.allocator import ALIGN, GuestAllocator
+
+PAGE = 4096
+
+
+def make_heap(machine, pages=64, base_vpn=256, max_blocks=128):
+    """Map a heap segment and build an allocator over it."""
+    space = AddressSpace(machine, "heap-test")
+    for index in range(pages):
+        frame = machine.phys.alloc()
+        space.map_page(base_vpn + index, frame, PagePerm.rwc())
+    heap_base = base_vpn * PAGE
+    heap_cap = Capability(
+        base=heap_base, length=pages * PAGE, cursor=heap_base,
+        perms=Perm.data_rw(),
+    )
+    alloc = GuestAllocator(machine, space, heap_cap, max_blocks=max_blocks)
+    alloc.format()
+    return alloc, space
+
+
+class TestMallocFree:
+    def test_malloc_returns_bounded_cap(self, machine):
+        alloc, _ = make_heap(machine)
+        cap = alloc.malloc(100)
+        assert cap.valid
+        assert cap.length == 112  # aligned to 16
+        assert cap.base % ALIGN == 0
+        assert cap.has_perm(Perm.LOAD | Perm.STORE)
+        assert not cap.has_perm(Perm.SYSTEM)
+
+    def test_blocks_do_not_overlap(self, machine):
+        alloc, _ = make_heap(machine)
+        caps = [alloc.malloc(48) for _ in range(20)]
+        spans = sorted((c.base, c.top) for c in caps)
+        for (_, top_a), (base_b, _) in zip(spans, spans[1:]):
+            assert top_a <= base_b
+
+    def test_blocks_within_heap_data_area(self, machine):
+        alloc, _ = make_heap(machine)
+        cap = alloc.malloc(64)
+        assert cap.base >= alloc.data_base
+        assert cap.top <= alloc.heap_base + alloc.heap_size
+
+    def test_free_and_reuse(self, machine):
+        alloc, _ = make_heap(machine)
+        cap = alloc.malloc(64)
+        alloc.free(cap)
+        again = alloc.malloc(64)
+        assert again.base == cap.base
+
+    def test_first_fit_skips_small_free_blocks(self, machine):
+        alloc, _ = make_heap(machine)
+        small = alloc.malloc(16)
+        large = alloc.malloc(256)
+        alloc.free(small)
+        alloc.free(large)
+        cap = alloc.malloc(128)
+        assert cap.base == large.base  # small hole skipped
+
+    def test_double_free_rejected(self, machine):
+        alloc, _ = make_heap(machine)
+        cap = alloc.malloc(32)
+        alloc.free(cap)
+        with pytest.raises(InvalidArgument):
+            alloc.free(cap)
+
+    def test_free_unknown_rejected(self, machine):
+        alloc, _ = make_heap(machine)
+        with pytest.raises(InvalidArgument):
+            alloc.free(0xDEAD0)
+
+    def test_malloc_zero_rejected(self, machine):
+        alloc, _ = make_heap(machine)
+        with pytest.raises(InvalidArgument):
+            alloc.malloc(0)
+
+    def test_heap_exhaustion(self, machine):
+        alloc, _ = make_heap(machine, pages=2, max_blocks=8)
+        with pytest.raises(OutOfMemory):
+            alloc.malloc(alloc.data_size + 16)
+
+    def test_record_table_exhaustion(self, machine):
+        alloc, _ = make_heap(machine, pages=64, max_blocks=4)
+        for _ in range(4):
+            alloc.malloc(16)
+        with pytest.raises(OutOfMemory):
+            alloc.malloc(16)
+
+    def test_malloc_charges_time(self, machine):
+        alloc, _ = make_heap(machine)
+        before = machine.clock.now_ns
+        alloc.malloc(16)
+        assert machine.clock.now_ns > before
+
+
+class TestStateInGuestMemory:
+    def test_attach_rebuilds_index(self, machine):
+        alloc, space = make_heap(machine)
+        caps = [alloc.malloc(32) for _ in range(5)]
+        alloc.free(caps[2])
+        # a second allocator instance attaches to the same memory
+        twin = GuestAllocator(machine, space, alloc.heap_cap,
+                              max_blocks=alloc.max_blocks)
+        twin.attach()
+        assert twin.block_count() == 4
+        twin.free(caps[0])
+        assert twin.block_count() == 3
+
+    def test_live_blocks_read_from_memory(self, machine):
+        alloc, _ = make_heap(machine)
+        caps = [alloc.malloc(48) for _ in range(3)]
+        live = alloc.live_blocks()
+        assert {c.base for c in live} == {c.base for c in caps}
+
+    def test_used_bytes(self, machine):
+        alloc, _ = make_heap(machine)
+        alloc.malloc(100)  # -> 112
+        cap = alloc.malloc(16)
+        assert alloc.used_bytes() == 128
+        alloc.free(cap)
+        assert alloc.used_bytes() == 112
+
+    def test_attach_unformatted_rejected(self, machine):
+        alloc, space = make_heap(machine)
+        fresh_space_alloc = GuestAllocator(
+            machine, space, alloc.heap_cap.set_bounds(
+                alloc.heap_base, alloc.heap_size
+            ),
+        )
+        space.write(alloc.heap_base, b"\x00" * 8)  # clobber magic
+        with pytest.raises(InvalidArgument):
+            fresh_space_alloc.attach()
+
+    def test_metadata_span_covers_records(self, machine):
+        alloc, _ = make_heap(machine, max_blocks=128)
+        base, top = alloc.metadata_span()
+        assert base == alloc.heap_base
+        assert top - base >= 32 + 128 * 32
+        assert (top - base) % PAGE == 0
+
+    def test_records_hold_tagged_caps(self, machine):
+        """Allocator metadata pages contain valid capability tags —
+        the property μFork's eager metadata copy relies on."""
+        alloc, space = make_heap(machine)
+        alloc.malloc(64)
+        record_cap = space.load_cap(alloc.heap_base + 32)
+        assert record_cap.valid
+
+
+class TestPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("malloc"), st.integers(1, 512)),
+            st.tuples(st.just("free"), st.integers(0, 30)),
+        ),
+        max_size=60,
+    ))
+    def test_prop_no_overlap_and_free_reuse(self, ops):
+        machine = Machine()
+        alloc, _ = make_heap(machine, pages=64, max_blocks=256)
+        live = []
+        for op, arg in ops:
+            if op == "malloc":
+                try:
+                    live.append(alloc.malloc(arg))
+                except OutOfMemory:
+                    pass
+            elif live:
+                cap = live.pop(arg % len(live))
+                alloc.free(cap)
+            spans = sorted((c.base, c.top) for c in live)
+            for (_, top_a), (base_b, _) in zip(spans, spans[1:]):
+                assert top_a <= base_b
+        assert alloc.block_count() == len(live)
+        assert alloc.used_bytes() == sum(c.length for c in live)

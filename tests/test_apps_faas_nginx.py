@@ -1,0 +1,134 @@
+"""Tests for the Zygote FaaS runtime and MiniNginx workloads."""
+
+import pytest
+
+from repro.apps.faas import ZygoteRuntime, faas_image, float_operation
+from repro.apps.guest import GuestContext
+from repro.apps.nginx import (
+    MiniNginx,
+    REQUEST_COMPUTE_UNITS,
+    RESPONSE_BODY,
+    WrkClient,
+    nginx_image,
+)
+from repro.baselines import MonolithicOS
+from repro.core import CopyStrategy, UForkOS
+from repro.machine import Machine
+
+
+def boot_zygote(os_cls=UForkOS, **kwargs):
+    os_ = os_cls(machine=Machine(), **kwargs)
+    ctx = GuestContext(os_, os_.spawn(faas_image(), "micropython"))
+    runtime = ZygoteRuntime(ctx)
+    runtime.warm()
+    return os_, runtime
+
+
+class TestZygote:
+    def test_warm_builds_module_table(self):
+        _os, runtime = boot_zygote()
+        names = runtime.modules()
+        assert len(names) == runtime.module_count
+        assert names[0] == b"module_000"
+        assert names[-1] == b"module_%03d" % (runtime.module_count - 1)
+
+    @pytest.mark.parametrize("os_cls", [UForkOS, MonolithicOS])
+    def test_request_forks_and_runs(self, os_cls):
+        os_, runtime = boot_zygote(os_cls)
+        result = runtime.handle_request()
+        assert result.ok
+        assert result.modules_seen == 4
+        assert os_.process_count() == 1  # child reaped
+
+    def test_many_requests_from_one_zygote(self):
+        os_, runtime = boot_zygote()
+        pids = {runtime.handle_request().pid for _ in range(10)}
+        assert len(pids) == 10  # each request got a fresh μprocess
+
+    def test_zygote_state_undamaged_by_requests(self):
+        _os, runtime = boot_zygote()
+        before = runtime.modules()
+        for _ in range(5):
+            runtime.handle_request()
+        assert runtime.modules() == before
+
+    def test_float_operation_charges_compute(self):
+        os_, runtime = boot_zygote()
+        before = os_.machine.clock.now_ns
+        float_operation(runtime.ctx)
+        elapsed = os_.machine.clock.now_ns - before
+        assert elapsed >= 400_000  # ~500 μs of work
+
+    def test_request_latency_lower_on_ufork(self):
+        latencies = {}
+        for os_cls in (UForkOS, MonolithicOS):
+            os_, runtime = boot_zygote(os_cls)
+            runtime.handle_request()  # warm the paths
+            with os_.machine.clock.measure() as watch:
+                runtime.handle_request()
+            latencies[os_cls] = watch.elapsed_ns
+        assert latencies[UForkOS] < latencies[MonolithicOS]
+
+
+def boot_nginx(os_cls=UForkOS, workers=1, **kwargs):
+    os_ = os_cls(machine=Machine(), **kwargs)
+    master = GuestContext(os_, os_.spawn(nginx_image(), "nginx"))
+    server = MiniNginx(master)
+    server.fork_workers(workers)
+    client = GuestContext(os_, os_.spawn(nginx_image(), "wrk"))
+    wrk = WrkClient(client)
+    return os_, server, wrk
+
+
+class TestNginx:
+    @pytest.mark.parametrize("os_cls", [UForkOS, MonolithicOS])
+    def test_serve_one_request(self, os_cls):
+        os_, server, wrk = boot_nginx(os_cls)
+        fd = wrk.issue()
+        stats = server.serve_one(server.workers[0])
+        response = wrk.complete(fd)
+        assert response.endswith(RESPONSE_BODY)
+        assert stats.total_ns > REQUEST_COMPUTE_UNITS  # compute charged
+        assert 0 < stats.io_wait_ns < stats.total_ns
+
+    def test_workers_share_listening_socket(self):
+        os_, server, wrk = boot_nginx(workers=3)
+        fds = [wrk.issue() for _ in range(3)]
+        for worker_ctx, fd in zip(server.workers, fds):
+            server.serve_one(worker_ctx)
+        for fd in fds:
+            assert wrk.complete(fd).startswith(b"HTTP/1.1 200")
+
+    def test_round_robin_many_requests(self):
+        os_, server, wrk = boot_nginx(workers=2)
+        for index in range(20):
+            fd = wrk.issue()
+            server.serve_one(server.workers[index % 2])
+            wrk.complete(fd)
+
+    def test_shutdown_reaps_workers(self):
+        os_, server, _wrk = boot_nginx(workers=3)
+        assert os_.process_count() == 5  # master + 3 workers + wrk
+        server.shutdown()
+        assert os_.process_count() == 2
+
+    def test_request_decomposition_feeds_concurrency_model(self):
+        os_, server, wrk = boot_nginx()
+        fd = wrk.issue()
+        stats = server.serve_one(server.workers[0])
+        wrk.complete(fd)
+        assert stats.cpu_ns + stats.io_wait_ns == stats.total_ns
+
+    def test_cheaper_per_request_on_ufork_single_worker(self):
+        per_req = {}
+        for os_cls in (UForkOS, MonolithicOS):
+            os_, server, wrk = boot_nginx(os_cls)
+            # warm
+            fd = wrk.issue()
+            server.serve_one(server.workers[0])
+            wrk.complete(fd)
+            fd = wrk.issue()
+            stats = server.serve_one(server.workers[0])
+            wrk.complete(fd)
+            per_req[os_cls] = stats.total_ns
+        assert per_req[UForkOS] < per_req[MonolithicOS]

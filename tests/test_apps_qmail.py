@@ -1,0 +1,124 @@
+"""Tests for MiniQmail — the privilege-separation workload (U3)."""
+
+import pytest
+
+from repro.apps.guest import GuestContext
+from repro.apps.qmail import MiniQmail, qmail_image, send_mail
+from repro.baselines import MonolithicOS
+from repro.core import IsolationConfig, UForkOS
+from repro.errors import BadAddress, BoundsFault
+from repro.machine import Machine
+
+
+def boot(os_cls=UForkOS, **kwargs):
+    if os_cls is UForkOS:
+        kwargs.setdefault("isolation", IsolationConfig.full())
+    os_ = os_cls(machine=Machine(), **kwargs)
+    master = GuestContext(os_, os_.spawn(qmail_image(), "qmail"))
+    server = MiniQmail(master)
+    server.start()
+    client = GuestContext(os_, os_.spawn(qmail_image(), "client"))
+    return os_, server, client
+
+
+class TestPipeline:
+    def test_end_to_end_delivery(self):
+        os_, server, client = boot()
+        fd = send_mail(client, b"alice", b"hello alice")
+        accepted, reply = server.smtpd_handle_one()
+        assert accepted and reply == b"250 queued\r\n"
+        assert client.recv_bytes(fd, 100) == b"250 queued\r\n"
+
+        deliveries = server.local_deliver_all()
+        assert len(deliveries) == 1
+        assert server.mailbox("alice") == b"hello alice\n---\n"
+
+    def test_multiple_users_and_messages(self):
+        os_, server, client = boot()
+        mail = [(b"alice", b"one"), (b"bob", b"two"), (b"alice", b"three")]
+        for user, body in mail:
+            send_mail(client, user, body)
+            server.smtpd_handle_one()
+        server.local_deliver_all()
+        assert server.mailbox("alice") == b"one\n---\nthree\n---\n"
+        assert server.mailbox("bob") == b"two\n---\n"
+
+    def test_malformed_input_rejected_before_queue(self):
+        os_, server, client = boot()
+        fd = client.syscall("connect", server.port)
+        client.send_bytes(fd, b"GARBAGE INPUT \xff\xfe")
+        accepted, reply = server.smtpd_handle_one()
+        assert not accepted
+        assert reply.startswith(b"550")
+        assert server.local_deliver_all() == []
+
+    def test_bad_mailbox_name_rejected(self):
+        os_, server, client = boot()
+        fd = client.syscall("connect", server.port)
+        client.send_bytes(fd, b"RCPT:../etc/passwd\nDATA:evil")
+        accepted, _reply = server.smtpd_handle_one()
+        assert not accepted
+
+    @pytest.mark.parametrize("os_cls", [UForkOS, MonolithicOS])
+    def test_pipeline_runs_on_both_oses(self, os_cls):
+        os_, server, client = boot(os_cls)
+        send_mail(client, b"carol", b"portable")
+        server.smtpd_handle_one()
+        server.local_deliver_all()
+        assert server.mailbox("carol") == b"portable\n---\n"
+
+    def test_shutdown_reaps_components(self):
+        os_, server, client = boot()
+        assert os_.process_count() == 4  # master, smtpd, local, client
+        server.shutdown()
+        assert os_.process_count() == 2
+
+
+class TestPrivilegeSeparation:
+    """The point of U3: a compromised smtpd is confined."""
+
+    def test_smtpd_cannot_reach_locals_memory(self):
+        from repro.cheri.capability import Perm
+        from repro.cheri.regfile import DDC
+        os_, server, _client = boot()
+        smtpd_ddc = server.smtpd.reg(DDC)
+        local_base = server.local.proc.region_base
+        with pytest.raises(BoundsFault):
+            smtpd_ddc.check_access(Perm.LOAD, size=8, addr=local_base)
+
+    def test_smtpd_cannot_leak_masters_buffers_via_kernel(self):
+        from repro.cheri.capability import Capability, Perm
+        from repro.kernel.vfs import O_CREAT, O_WRONLY
+        os_, server, _client = boot()
+        smtpd = server.smtpd
+        fd = smtpd.syscall("open", "/tmp-exfil", O_CREAT | O_WRONLY)
+        forged = Capability(
+            base=server.ctx.proc.region_base, length=256,
+            cursor=server.ctx.proc.region_base, perms=Perm.data_rw(),
+        )
+        with pytest.raises(BadAddress):
+            smtpd.syscall("write", fd, forged, 256)
+
+    def test_smtpd_memory_corruption_faults_not_corrupts(self):
+        """A parser overflow faults on capability bounds instead of
+        silently smashing adjacent state."""
+        os_, server, _client = boot()
+        smtpd = server.smtpd
+        parse_buf = smtpd.malloc(64)
+        with pytest.raises(BoundsFault):
+            smtpd.store(parse_buf, b"X" * 65)
+        # the component is still alive and the pipeline still works
+        assert smtpd.proc.alive
+
+    def test_crashed_smtpd_replaceable_without_restart(self):
+        """The master forks a fresh smtpd after a crash — the fork-based
+        recovery that makes privilege separation operable."""
+        os_, server, client = boot()
+        server.smtpd.exit(139)  # "segfault"
+        server.ctx.wait(server.smtpd.pid)
+        server.smtpd = server.ctx.fork()  # fresh component
+        send_mail(client, b"dave", b"after crash")
+        accepted, _ = server.smtpd_handle_one()
+        assert accepted
+        server.local_deliver_all()
+        assert server.mailbox("dave") == b"after crash\n---\n"

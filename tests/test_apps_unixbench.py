@@ -1,0 +1,83 @@
+"""Tests for the Unixbench-style Spawn and Context1 microbenchmarks."""
+
+import pytest
+
+from repro.apps import unixbench
+from repro.apps.guest import GuestContext
+from repro.apps.hello import hello_world_image
+from repro.baselines import MonolithicOS
+from repro.core import UForkOS
+from repro.machine import Machine
+
+
+def boot(os_cls=UForkOS):
+    os_ = os_cls(machine=Machine())
+    return os_, GuestContext(os_, os_.spawn(hello_world_image(), "bench"))
+
+
+class TestSpawn:
+    def test_spawn_runs_and_reaps(self):
+        os_, ctx = boot()
+        result = unixbench.spawn(ctx, iterations=20)
+        assert result.iterations == 20
+        assert result.total_ns > 0
+        assert os_.process_count() == 1
+
+    def test_spawn_no_frame_leak(self):
+        os_, ctx = boot()
+        unixbench.spawn(ctx, iterations=3)
+        frames_after_warm = os_.machine.phys.allocated_frames
+        unixbench.spawn(ctx, iterations=10)
+        assert os_.machine.phys.allocated_frames == frames_after_warm
+
+    def test_per_fork_rate_ufork_vs_monolithic(self):
+        rates = {}
+        for os_cls in (UForkOS, MonolithicOS):
+            os_, ctx = boot(os_cls)
+            rates[os_cls] = unixbench.spawn(ctx, iterations=25).per_fork_us
+        # paper Fig 9: 56 ms vs 198 ms for 1000 iterations
+        assert rates[UForkOS] < rates[MonolithicOS]
+
+    def test_per_fork_us_near_calibration(self):
+        os_, ctx = boot(UForkOS)
+        result = unixbench.spawn(ctx, iterations=50)
+        # hello-world μFork fork+exit should be tens of μs (paper: 54 μs
+        # fork; 56 μs per spawn iteration)
+        assert 20 < result.per_fork_us < 150
+
+
+class TestContext1:
+    def test_counter_reaches_target(self):
+        os_, ctx = boot()
+        result = unixbench.context1(ctx, target=50)
+        assert result.final_value >= 50
+        assert result.total_ns > 0
+        assert os_.process_count() == 1
+
+    def test_context_switches_charged(self):
+        os_, ctx = boot()
+        before = os_.machine.counters.get("context_switch")
+        unixbench.context1(ctx, target=10)
+        switches = os_.machine.counters.get("context_switch") - before
+        assert switches >= 20  # two per iteration
+
+    def test_monolithic_pays_tlb_flushes(self):
+        os_, ctx = boot(MonolithicOS)
+        before = os_.machine.counters.get("tlb_flush")
+        unixbench.context1(ctx, target=10)
+        assert os_.machine.counters.get("tlb_flush") - before >= 20
+
+    def test_sasos_never_flushes_tlb(self):
+        os_, ctx = boot(UForkOS)
+        unixbench.context1(ctx, target=10)
+        assert os_.machine.counters.get("tlb_flush") == 0
+
+    def test_ipc_faster_on_single_address_space(self):
+        per_iter = {}
+        for os_cls in (UForkOS, MonolithicOS):
+            os_, ctx = boot(os_cls)
+            per_iter[os_cls] = unixbench.context1(
+                ctx, target=200
+            ).per_iteration_us
+        # paper Fig 9: 245 ms vs 419 ms at 100k iterations
+        assert per_iter[UForkOS] < per_iter[MonolithicOS]

@@ -1,0 +1,231 @@
+"""Tests for the CHERI capability model, including property-based tests
+of the monotonicity invariant μFork's isolation argument rests on."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cheri.capability import (
+    Capability,
+    OTYPE_SENTRY,
+    OTYPE_UNSEALED,
+    Perm,
+)
+from repro.errors import (
+    BoundsFault,
+    MonotonicityFault,
+    PermissionFault,
+    SealFault,
+    TagFault,
+)
+
+
+def make_cap(base=0x1000, length=0x1000, cursor=None, perms=None):
+    return Capability(
+        base=base,
+        length=length,
+        cursor=base if cursor is None else cursor,
+        perms=Perm.data_rw() if perms is None else perms,
+    )
+
+
+class TestBasics:
+    def test_root_covers_everything(self):
+        root = Capability.root(1 << 48)
+        assert root.base == 0
+        assert root.top == 1 << 48
+        assert root.has_perm(Perm.SYSTEM)
+
+    def test_null_is_invalid(self):
+        assert not Capability.null().valid
+
+    def test_top_and_offset(self):
+        cap = make_cap(base=0x1000, length=0x200, cursor=0x1010)
+        assert cap.top == 0x1200
+        assert cap.offset == 0x10
+
+    def test_in_bounds(self):
+        cap = make_cap(base=0x1000, length=0x100)
+        assert cap.in_bounds(0x1000, 0x100)
+        assert not cap.in_bounds(0x1000, 0x101)
+        assert not cap.in_bounds(0xFFF)
+
+    def test_spans(self):
+        cap = make_cap(base=0x1000, length=0x100)
+        assert cap.spans(0x1000, 0x1100)
+        assert cap.spans(0x0, 0x10000)
+        assert not cap.spans(0x1001, 0x10000)
+
+
+class TestMonotonicity:
+    def test_set_bounds_shrinks(self):
+        cap = make_cap(base=0x1000, length=0x1000)
+        sub = cap.set_bounds(0x1100, 0x100)
+        assert sub.base == 0x1100
+        assert sub.length == 0x100
+
+    def test_set_bounds_cannot_grow_down(self):
+        cap = make_cap(base=0x1000, length=0x1000)
+        with pytest.raises(MonotonicityFault):
+            cap.set_bounds(0xF00, 0x100)
+
+    def test_set_bounds_cannot_grow_up(self):
+        cap = make_cap(base=0x1000, length=0x1000)
+        with pytest.raises(MonotonicityFault):
+            cap.set_bounds(0x1F00, 0x200)
+
+    def test_set_bounds_negative_length(self):
+        with pytest.raises(BoundsFault):
+            make_cap().set_bounds(0x1000, -1)
+
+    def test_set_bounds_clamps_cursor(self):
+        cap = make_cap(base=0x1000, length=0x1000, cursor=0x1800)
+        sub = cap.set_bounds(0x1000, 0x100)
+        assert sub.cursor == 0x1100
+
+    def test_and_perms_only_clears(self):
+        cap = make_cap(perms=Perm.data_rw())
+        ro = cap.and_perms(Perm.LOAD | Perm.LOAD_CAP)
+        assert not ro.has_perm(Perm.STORE)
+        # trying to add EXECUTE via and_perms cannot succeed
+        again = ro.and_perms(Perm.all_perms())
+        assert again.perms == ro.perms
+
+    def test_without_perms(self):
+        cap = make_cap(perms=Perm.data_rw())
+        no_store = cap.without_perms(Perm.STORE | Perm.STORE_CAP)
+        assert not no_store.has_perm(Perm.STORE)
+        assert no_store.has_perm(Perm.LOAD)
+
+    @given(
+        base=st.integers(min_value=0, max_value=2**32),
+        length=st.integers(min_value=0, max_value=2**20),
+        sub_off=st.integers(min_value=0, max_value=2**20),
+        sub_len=st.integers(min_value=0, max_value=2**20),
+    )
+    def test_prop_derived_bounds_never_exceed_parent(
+        self, base, length, sub_off, sub_len
+    ):
+        """Any successful set_bounds yields bounds within the parent."""
+        cap = make_cap(base=base, length=length)
+        try:
+            sub = cap.set_bounds(base + sub_off, sub_len)
+        except MonotonicityFault:
+            assert sub_off + sub_len > length
+        else:
+            assert sub.base >= cap.base
+            assert sub.top <= cap.top
+
+    @given(perm_bits=st.integers(min_value=0, max_value=511))
+    def test_prop_perms_never_grow(self, perm_bits):
+        cap = make_cap(perms=Perm.LOAD | Perm.STORE)
+        derived = cap.and_perms(Perm(perm_bits))
+        assert (derived.perms & ~cap.perms) == Perm.NONE
+
+    @given(
+        length=st.integers(min_value=16, max_value=2**16),
+        depth=st.integers(min_value=1, max_value=6),
+        data=st.data(),
+    )
+    def test_prop_chained_derivation_is_monotonic(self, length, depth, data):
+        """A chain of derivations can never escape the original bounds."""
+        cap = make_cap(base=0x10000, length=length)
+        original_base, original_top = cap.base, cap.top
+        for _ in range(depth):
+            off = data.draw(st.integers(0, cap.length))
+            sub_len = data.draw(st.integers(0, cap.length - off))
+            cap = cap.set_bounds(cap.base + off, sub_len)
+            assert cap.base >= original_base
+            assert cap.top <= original_top
+
+
+class TestDereference:
+    def test_valid_access(self):
+        cap = make_cap(base=0x1000, length=0x100, cursor=0x1010)
+        assert cap.check_access(Perm.LOAD, size=8) == 0x1010
+
+    def test_untagged_faults(self):
+        cap = make_cap().invalidated()
+        with pytest.raises(TagFault):
+            cap.check_access(Perm.LOAD)
+
+    def test_missing_perm_faults(self):
+        cap = make_cap(perms=Perm.LOAD)
+        with pytest.raises(PermissionFault):
+            cap.check_access(Perm.STORE)
+
+    def test_out_of_bounds_faults(self):
+        cap = make_cap(base=0x1000, length=0x10, cursor=0x100F)
+        with pytest.raises(BoundsFault):
+            cap.check_access(Perm.LOAD, size=8)
+
+    def test_out_of_bounds_cursor_representable(self):
+        # Moving the cursor out of bounds is fine; dereference faults.
+        cap = make_cap(base=0x1000, length=0x10).with_cursor(0x9999)
+        assert cap.cursor == 0x9999
+        with pytest.raises(BoundsFault):
+            cap.check_access(Perm.LOAD)
+
+    def test_explicit_addr_checked(self):
+        cap = make_cap(base=0x1000, length=0x100)
+        assert cap.check_access(Perm.LOAD, size=4, addr=0x1020) == 0x1020
+        with pytest.raises(BoundsFault):
+            cap.check_access(Perm.LOAD, size=4, addr=0x2000)
+
+    def test_sealed_cannot_be_dereferenced(self):
+        cap = make_cap().sealed(7)
+        with pytest.raises(SealFault):
+            cap.check_access(Perm.LOAD)
+
+
+class TestSealing:
+    def test_seal_unseal_roundtrip(self):
+        cap = make_cap()
+        sealed = cap.sealed(42)
+        assert sealed.is_sealed
+        assert sealed.otype == 42
+        assert sealed.unsealed().otype == OTYPE_UNSEALED
+
+    def test_double_seal_faults(self):
+        with pytest.raises(SealFault):
+            make_cap().sealed(1).sealed(2)
+
+    def test_unseal_unsealed_faults(self):
+        with pytest.raises(SealFault):
+            make_cap().unsealed()
+
+    def test_seal_with_unsealed_otype_rejected(self):
+        with pytest.raises(SealFault):
+            make_cap().sealed(OTYPE_UNSEALED)
+
+    def test_sealed_is_immutable(self):
+        sealed = make_cap().sealed(1)
+        with pytest.raises(SealFault):
+            sealed.with_cursor(0)
+        with pytest.raises(SealFault):
+            sealed.set_bounds(0x1000, 8)
+        with pytest.raises(SealFault):
+            sealed.and_perms(Perm.LOAD)
+
+    def test_sentry(self):
+        sentry = make_cap(perms=Perm.code()).sealed(OTYPE_SENTRY)
+        assert sentry.is_sentry
+
+
+class TestKernelRelocation:
+    def test_rebased_shifts_base_and_cursor(self):
+        cap = make_cap(base=0x1000, length=0x100, cursor=0x1040)
+        moved = cap.rebased(0x10000)
+        assert moved.base == 0x11000
+        assert moved.cursor == 0x11040
+        assert moved.length == 0x100
+
+    def test_clamped_to_intersects(self):
+        cap = make_cap(base=0x1000, length=0x1000)
+        clamped = cap.clamped_to(0x1800, 0x4000)
+        assert clamped.base == 0x1800
+        assert clamped.top == 0x2000
+
+    def test_clamped_to_disjoint_is_empty(self):
+        cap = make_cap(base=0x1000, length=0x100)
+        clamped = cap.clamped_to(0x9000, 0xA000)
+        assert clamped.length == 0

@@ -1,0 +1,109 @@
+"""Tests for the simulated clock and counters."""
+
+import pytest
+
+from repro.clock import EventCounters, SimClock, NS_PER_MS, NS_PER_US
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_ns == 0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(100)
+        clock.advance(250)
+        assert clock.now_ns == 350
+
+    def test_advance_rounds_fractional_ns(self):
+        clock = SimClock()
+        clock.advance(0.6)
+        assert clock.now_ns == 1
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_unit_conversions(self):
+        clock = SimClock()
+        clock.advance(2_500_000)
+        assert clock.now_us == 2_500_000 / NS_PER_US
+        assert clock.now_ms == 2_500_000 / NS_PER_MS
+        assert clock.now_s == 0.0025
+
+    def test_buckets_attribute_time(self):
+        clock = SimClock()
+        clock.advance(100, "fork")
+        clock.advance(50, "fork")
+        clock.advance(10, "io")
+        assert clock.bucket_ns("fork") == 150
+        assert clock.bucket_ns("io") == 10
+        assert clock.bucket_ns("missing") == 0
+
+    def test_reset_buckets_keeps_time(self):
+        clock = SimClock()
+        clock.advance(100, "fork")
+        clock.reset_buckets()
+        assert clock.bucket_ns("fork") == 0
+        assert clock.now_ns == 100
+
+    def test_advance_to_only_moves_forward(self):
+        clock = SimClock()
+        clock.advance_to(500)
+        assert clock.now_ns == 500
+        clock.advance_to(100)
+        assert clock.now_ns == 500
+
+    def test_measure_context_manager(self):
+        clock = SimClock()
+        with clock.measure() as watch:
+            clock.advance(1234)
+        assert watch.elapsed_ns == 1234
+        clock.advance(100)
+        assert watch.elapsed_ns == 1234  # stopped
+
+    def test_stopwatch_nested_intervals(self):
+        clock = SimClock()
+        with clock.measure() as outer:
+            clock.advance(10)
+            with clock.measure() as inner:
+                clock.advance(5)
+        assert inner.elapsed_ns == 5
+        assert outer.elapsed_ns == 15
+
+    def test_stopwatch_reads_while_running(self):
+        clock = SimClock()
+        with clock.measure() as watch:
+            clock.advance(7)
+            assert watch.elapsed_ns == 7
+
+    def test_stopwatch_unit_properties(self):
+        clock = SimClock()
+        with clock.measure() as watch:
+            clock.advance(3_000_000)
+        assert watch.elapsed_us == 3000.0
+        assert watch.elapsed_ms == 3.0
+
+
+class TestEventCounters:
+    def test_add_and_get(self):
+        counters = EventCounters()
+        counters.add("fault")
+        counters.add("fault", 2)
+        assert counters.get("fault") == 3
+
+    def test_missing_is_zero(self):
+        assert EventCounters().get("nothing") == 0
+
+    def test_snapshot_is_a_copy(self):
+        counters = EventCounters()
+        counters.add("x")
+        snap = counters.snapshot()
+        counters.add("x")
+        assert snap == {"x": 1}
+
+    def test_reset(self):
+        counters = EventCounters()
+        counters.add("x", 5)
+        counters.reset()
+        assert counters.get("x") == 0

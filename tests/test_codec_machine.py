@@ -1,0 +1,118 @@
+"""Tests for the capability codec, the Machine container, and the cost
+model's derived helpers."""
+
+import struct
+
+import pytest
+
+from repro.cheri.capability import Capability, Perm
+from repro.cheri.codec import CAP_SIZE, CapabilityCodec
+from repro.machine import Machine
+from repro.params import CostModel, MachineConfig
+
+
+class TestCodec:
+    def make_cap(self, cursor=0x2010):
+        return Capability(base=0x2000, length=0x100, cursor=cursor,
+                          perms=Perm.data_rw())
+
+    def test_roundtrip(self):
+        codec = CapabilityCodec()
+        cap = self.make_cap()
+        raw = codec.encode(cap)
+        assert len(raw) == CAP_SIZE
+        assert codec.decode(raw, valid=True) == cap
+
+    def test_cursor_visible_as_integer(self):
+        """Integer loads of a pointer's bytes observe its address (as on
+        hardware): the first 8 bytes are the little-endian cursor."""
+        codec = CapabilityCodec()
+        raw = codec.encode(self.make_cap(cursor=0xDEAD))
+        (cursor,) = struct.unpack_from("<Q", raw, 0)
+        assert cursor == 0xDEAD
+
+    def test_untagged_decode_is_invalid(self):
+        codec = CapabilityCodec()
+        raw = codec.encode(self.make_cap())
+        decoded = codec.decode(raw, valid=False)
+        assert not decoded.valid
+        assert decoded.cursor == self.make_cap().cursor
+
+    def test_forged_metadata_yields_powerless_cap(self):
+        """An attacker fabricating bytes with a bogus metadata index
+        gets a permissionless, invalid value — unforgeability."""
+        codec = CapabilityCodec()
+        forged = struct.pack("<QQ", 0x4000, 999_999)
+        decoded = codec.decode(forged, valid=True)
+        assert not decoded.valid
+        assert decoded.perms == Perm.NONE
+
+    def test_metadata_interned(self):
+        codec = CapabilityCodec()
+        raw_a = codec.encode(self.make_cap(cursor=0x2000))
+        raw_b = codec.encode(self.make_cap(cursor=0x2050))
+        # same bounds/perms -> same metadata id (second 8 bytes)
+        assert raw_a[8:] == raw_b[8:]
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(ValueError):
+            CapabilityCodec().decode(b"short", valid=True)
+
+    def test_sealed_cap_roundtrips(self):
+        codec = CapabilityCodec()
+        sealed = self.make_cap().sealed(7)
+        assert codec.decode(codec.encode(sealed), valid=True) == sealed
+
+
+class TestMachine:
+    def test_fresh_machines_independent(self):
+        a, b = Machine(), Machine()
+        a.clock.advance(100)
+        a.phys.alloc()
+        assert b.clock.now_ns == 0
+        assert b.phys.allocated_frames == 0
+
+    def test_cores_match_config(self):
+        machine = Machine(config=MachineConfig(cores=2))
+        assert len(machine.cores) == 2
+
+    def test_charge_passthrough(self):
+        machine = Machine()
+        machine.charge(42, "bucket")
+        assert machine.clock.now_ns == 42
+        assert machine.clock.bucket_ns("bucket") == 42
+
+    def test_seeded_rng_deterministic(self):
+        assert Machine(seed=7).rng.random() == Machine(seed=7).rng.random()
+
+    def test_custom_cost_model(self):
+        costs = CostModel.morello().scaled(page_zero_ns=1.0)
+        machine = Machine(costs=costs)
+        before = machine.clock.now_ns
+        machine.phys.alloc(zero=True)
+        assert machine.clock.now_ns - before == 1
+
+
+class TestCostModel:
+    def test_morello_is_default(self):
+        assert CostModel.morello() == CostModel()
+
+    def test_scaled_overrides_one_field(self):
+        scaled = CostModel.morello().scaled(trap_syscall_ns=9.0)
+        assert scaled.trap_syscall_ns == 9.0
+        assert scaled.sealed_syscall_ns == \
+            CostModel.morello().sealed_syscall_ns
+
+    def test_page_cost_helpers(self):
+        costs = CostModel.morello()
+        assert costs.page_copy_ns(4096) == \
+            pytest.approx(4096 * costs.memcpy_ns_per_byte)
+        assert costs.page_scan_ns(4096, 16) == \
+            pytest.approx(256 * costs.tag_scan_ns_per_granule)
+
+    def test_machine_config_helpers(self):
+        config = MachineConfig()
+        assert config.granules_per_page == 256
+        assert config.page_of(0x1234) == 1
+        assert config.page_base(0x1234) == 0x1000
+        assert config.va_size == 1 << 48

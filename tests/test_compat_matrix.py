@@ -1,0 +1,45 @@
+"""Tests for the Loupe-style app/syscall compatibility matrix."""
+
+from repro.harness.compat import (
+    WORKLOADS,
+    compatibility_matrix,
+    matrix_rows,
+    syscalls_used,
+)
+
+
+class TestCompatibilityMatrix:
+    def test_every_workload_runs_and_uses_syscalls(self):
+        all_syscalls, per_app = compatibility_matrix()
+        assert set(per_app) == set(WORKLOADS)
+        for app, used in per_app.items():
+            assert used, f"{app} exercised no syscalls"
+        assert "fork" in all_syscalls
+
+    def test_fork_used_by_every_fork_based_app(self):
+        _all, per_app = compatibility_matrix()
+        for app in ("redis", "faas", "nginx", "qmail", "unixbench",
+                    "hello"):
+            assert "fork" in per_app[app], f"{app} should fork"
+
+    def test_distinct_profiles(self):
+        """The apps exercise genuinely different slices of the API."""
+        _all, per_app = compatibility_matrix()
+        assert "listen" in per_app["nginx"]
+        assert "listen" not in per_app["redis"]
+        assert "mq_send" in per_app["qmail"]
+        assert "mq_send" not in per_app["nginx"]
+        assert "rename" in per_app["redis"]  # atomic RDB rename
+        assert "pipe" in per_app["unixbench"]
+
+    def test_rows_render_shape(self):
+        rows = matrix_rows()
+        assert rows == sorted(rows, key=lambda r: r["syscall"])
+        for row in rows:
+            assert set(row) == {"syscall", *WORKLOADS}
+            assert any(row[app] == "x" for app in WORKLOADS)
+
+    def test_counts_positive(self):
+        used = syscalls_used(WORKLOADS["redis"])
+        assert all(count > 0 for count in used.values())
+        assert used["fork"] == 1  # one BGSAVE fork in the scenario

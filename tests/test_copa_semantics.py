@@ -1,0 +1,144 @@
+"""Edge-semantics of the copy strategies (paper §3.8, Figure 2).
+
+Each test pins one cell of the access × actor × strategy matrix:
+which accesses share, which copy, and which relocate.
+"""
+
+import pytest
+
+from repro.apps.guest import GuestContext
+from repro.apps.hello import hello_world_image
+from repro.cheri.capability import Perm
+from repro.cheri.regfile import DDC, PCC
+from repro.core import CopyStrategy, UForkOS
+from repro.hw.paging import AccessKind
+from repro.machine import Machine
+
+
+def forked_pair(strategy):
+    """Parent with one pointer page and one data page, plus its child."""
+    os_ = UForkOS(machine=Machine(), copy_strategy=strategy)
+    parent = GuestContext(os_, os_.spawn(hello_world_image(), "p"))
+    data = parent.malloc(4096)           # page(s) of plain bytes
+    parent.store(data, b"d" * 4096)
+    holder = parent.malloc(32)           # page with a capability
+    parent.store_cap(holder, data)
+    parent.set_reg("c9", holder)
+    parent.set_reg("c8", data)
+    child = parent.fork()
+    return os_, parent, child
+
+
+def copies(os_):
+    return os_.machine.counters.get("fork_page_copies")
+
+
+class TestCoPAMatrix:
+    """Figure 2: writes by either side (A, C) and child pointer loads
+    (B) trigger copying; everything else stays shared."""
+
+    def test_child_plain_read_shares(self):
+        os_, parent, child = forked_pair(CopyStrategy.COPA)
+        before = copies(os_)
+        child.load(child.reg("c8"), 64)   # data read via relocated reg
+        assert copies(os_) == before
+
+    def test_child_cap_load_copies_and_relocates(self):
+        os_, parent, child = forked_pair(CopyStrategy.COPA)
+        before = copies(os_)
+        loaded = child.load_cap(child.reg("c9"))
+        assert copies(os_) > before
+        assert child.proc.region_base <= loaded.base \
+            < child.proc.region_top
+
+    def test_child_write_copies(self):
+        os_, parent, child = forked_pair(CopyStrategy.COPA)
+        before = copies(os_)
+        child.store(child.reg("c8"), b"w")
+        assert copies(os_) > before
+
+    def test_parent_write_copies_for_writer(self):
+        os_, parent, child = forked_pair(CopyStrategy.COPA)
+        before = copies(os_)
+        parent.store(parent.reg("c8"), b"w")
+        assert copies(os_) > before
+        # the child still reads the snapshot
+        assert child.load(child.reg("c8"), 1) == b"d"
+
+    def test_parent_cap_load_shares(self):
+        """Parent pointers are already correct: no fault, no copy."""
+        os_, parent, child = forked_pair(CopyStrategy.COPA)
+        before = copies(os_)
+        loaded = parent.load_cap(parent.reg("c9"))
+        assert copies(os_) == before
+        assert loaded.base == parent.reg("c8").base
+
+    def test_child_exec_shares_code_pages(self):
+        """PIC code is PC-relative: the child executes shared pages."""
+        os_, parent, child = forked_pair(CopyStrategy.COPA)
+        before = copies(os_)
+        pcc = child.reg(PCC)
+        pcc.check_access(Perm.EXECUTE)
+        frame, _ = os_.space.resolve(pcc.cursor, AccessKind.EXEC)
+        assert copies(os_) == before
+
+    def test_each_shared_page_copies_at_most_once(self):
+        os_, parent, child = forked_pair(CopyStrategy.COPA)
+        target = child.reg("c9")
+        child.load_cap(target)
+        after_first = copies(os_)
+        child.load_cap(target)      # second load: page already private
+        child.store(target, b"\x00" * 16)
+        assert copies(os_) == after_first
+
+
+class TestCoAMatrix:
+    """CoA: any child access copies; parent reads still share."""
+
+    def test_child_plain_read_copies(self):
+        os_, parent, child = forked_pair(CopyStrategy.COA)
+        before = copies(os_)
+        child.load(child.reg("c8"), 8)
+        assert copies(os_) > before
+
+    def test_child_exec_copies(self):
+        os_, parent, child = forked_pair(CopyStrategy.COA)
+        before = copies(os_)
+        pcc = child.reg(PCC)
+        os_.space.resolve(pcc.cursor, AccessKind.EXEC)
+        assert copies(os_) > before
+
+    def test_parent_read_shares(self):
+        os_, parent, child = forked_pair(CopyStrategy.COA)
+        before = copies(os_)
+        parent.load(parent.reg("c8"), 8)
+        parent.load_cap(parent.reg("c9"))
+        assert copies(os_) == before
+
+    def test_relocation_happens_on_copy(self):
+        os_, parent, child = forked_pair(CopyStrategy.COA)
+        loaded = child.load_cap(child.reg("c9"))
+        assert child.proc.region_base <= loaded.base \
+            < child.proc.region_top
+
+
+class TestStaleCapabilityNeverUsable:
+    """The §4.3 guarantee, stated negatively: no execution order lets
+    the child dereference a parent-region capability."""
+
+    @pytest.mark.parametrize("strategy",
+                             [CopyStrategy.COA, CopyStrategy.COPA])
+    def test_loaded_caps_always_point_into_child(self, strategy):
+        os_, parent, child = forked_pair(strategy)
+        # every capability reachable from the child's registers, after
+        # arbitrary load ordering, lands in the child's region
+        for first in ("c8", "c9"):
+            loaded = child.reg(first)
+            assert child.proc.region_base <= loaded.base \
+                < child.proc.region_top
+        via_memory = child.load_cap(child.reg("c9"))
+        assert child.proc.region_base <= via_memory.base \
+            < child.proc.region_top
+        # and dereferencing it yields the snapshot, not parent bytes
+        parent.store(parent.reg("c8"), b"MUT")
+        assert child.load(via_memory, 3) == b"ddd"

@@ -1,0 +1,135 @@
+"""Unit tests for the GOT model, process/task bookkeeping, and the
+error hierarchy."""
+
+import pytest
+
+from repro.cheri.capability import Capability, Perm
+from repro.core.got import got_confined, init_got, read_got
+from repro.errors import (
+    BadAddress,
+    BoundsFault,
+    CapabilityFault,
+    KernelError,
+    MonotonicityFault,
+    PageFaultError,
+    ProtectionError,
+    SimError,
+    TagFault,
+    UnmappedAddressError,
+)
+from repro.hw.paging import AddressSpace, PagePerm
+from repro.kernel.task import PidAllocator, Process, ProcessTable, Task
+from repro.errors import NoSuchProcess
+
+
+class TestGot:
+    def make_space(self, machine, pages=8, base_vpn=64):
+        space = AddressSpace(machine, "got-test")
+        for index in range(pages):
+            space.map_page(base_vpn + index, machine.phys.alloc(),
+                           PagePerm.rwc())
+        return space, base_vpn * 4096
+
+    def region_cap(self, base, size):
+        return Capability(base=base, length=size, cursor=base,
+                          perms=Perm.all_perms())
+
+    def test_entries_alternate_data_and_rodata(self, machine):
+        space, base = self.make_space(machine)
+        region = self.region_cap(base, 8 * 4096)
+        init_got(space, base, 16, region,
+                 data_base=base + 4096, data_size=4096,
+                 rodata_base=base + 2 * 4096, rodata_size=4096)
+        caps = read_got(space, base, 16, privileged=True)
+        assert all(cap.valid for cap in caps)
+        data_lo, data_hi = base + 4096, base + 2 * 4096
+        assert all(data_lo <= cap.base < data_hi for cap in caps[::2])
+        assert all(cap.base >= data_hi for cap in caps[1::2])
+        # writable-data entries carry store permission, rodata do not
+        assert caps[0].has_perm(Perm.STORE)
+        assert not caps[1].has_perm(Perm.STORE)
+
+    def test_got_confined_detects_escape(self, machine):
+        space, base = self.make_space(machine)
+        region = self.region_cap(base, 8 * 4096)
+        init_got(space, base, 8, region,
+                 data_base=base + 4096, data_size=4096,
+                 rodata_base=base + 2 * 4096, rodata_size=4096)
+        assert got_confined(space, base, 8, base, base + 8 * 4096)
+        # confine window that excludes the targets
+        assert not got_confined(space, base, 8, base, base + 4096)
+
+
+class TestProcessTable:
+    def test_add_get_remove(self):
+        table = ProcessTable()
+        proc = Process(5, "p")
+        table.add(proc)
+        assert table.get(5) is proc
+        assert 5 in table
+        table.remove(5)
+        with pytest.raises(NoSuchProcess):
+            table.get(5)
+
+    def test_alive_filtering(self):
+        table = ProcessTable()
+        alive = Process(1, "a")
+        dead = Process(2, "d")
+        dead.exit_status = 0
+        table.add(alive)
+        table.add(dead)
+        assert table.alive() == [alive]
+        assert len(table.all()) == 2
+
+    def test_pid_allocation_monotonic(self):
+        pids = PidAllocator()
+        assert [pids.allocate() for _ in range(3)] == [1, 2, 3]
+
+    def test_parent_child_links(self):
+        parent = Process(1, "p")
+        child = Process(2, "c", parent=parent)
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_tasks_unique_tids(self):
+        proc = Process(1, "p")
+        tids = {proc.add_task().tid for _ in range(5)}
+        assert len(tids) == 5
+        assert proc.main_task() is proc.tasks[0]
+
+    def test_main_task_without_tasks(self):
+        with pytest.raises(NoSuchProcess):
+            Process(1, "p").main_task()
+
+    def test_region_size(self):
+        proc = Process(1, "p")
+        proc.region_base, proc.region_top = 0x1000, 0x5000
+        assert proc.region_size == 0x4000
+
+
+class TestErrorHierarchy:
+    def test_capability_faults_are_sim_errors(self):
+        for exc in (TagFault, BoundsFault, MonotonicityFault):
+            assert issubclass(exc, CapabilityFault)
+            assert issubclass(exc, SimError)
+
+    def test_page_faults_carry_context(self):
+        err = UnmappedAddressError(0x1234, "write")
+        assert err.vaddr == 0x1234
+        assert err.access == "write"
+        assert isinstance(err, PageFaultError)
+        assert "0x1234" in str(err)
+
+    def test_kernel_errors_have_errno_names(self):
+        assert BadAddress.errno_name == "EFAULT"
+        assert issubclass(BadAddress, KernelError)
+        assert ProtectionError(0, "read").reason == "protection"
+
+    def test_catching_sim_error_catches_everything(self):
+        for exc_type in (TagFault, UnmappedAddressError, BadAddress):
+            try:
+                if exc_type is UnmappedAddressError:
+                    raise exc_type(0, "read")
+                raise exc_type("boom")
+            except SimError:
+                pass

@@ -1,0 +1,106 @@
+"""Tests for GuestContext — the user-space programming API."""
+
+import pytest
+
+from repro.apps.guest import GuestContext
+from repro.apps.hello import hello_world_image
+from repro.cheri.capability import Perm
+from repro.core import UForkOS
+from repro.errors import BoundsFault, PermissionFault, TagFault
+from repro.machine import Machine
+
+
+@pytest.fixture
+def ctx():
+    os_ = UForkOS(machine=Machine())
+    return GuestContext(os_, os_.spawn(hello_world_image(), "app"))
+
+
+class TestMemoryAccess:
+    def test_store_load_with_offset(self, ctx):
+        buf = ctx.malloc(64)
+        ctx.store(buf, b"abc", offset=10)
+        assert ctx.load(buf, 3, offset=10) == b"abc"
+
+    def test_u64_helpers(self, ctx):
+        buf = ctx.malloc(16)
+        ctx.store_u64(buf, 0xDEADBEEF, offset=8)
+        assert ctx.load_u64(buf, offset=8) == 0xDEADBEEF
+
+    def test_out_of_bounds_store_faults(self, ctx):
+        buf = ctx.malloc(16)
+        with pytest.raises(BoundsFault):
+            ctx.store(buf, b"x" * 17)
+
+    def test_offset_past_end_faults(self, ctx):
+        buf = ctx.malloc(16)
+        with pytest.raises(BoundsFault):
+            ctx.load(buf, 8, offset=12)
+
+    def test_readonly_cap_cannot_store(self, ctx):
+        buf = ctx.malloc(16).and_perms(Perm.data_ro())
+        with pytest.raises(PermissionFault):
+            ctx.store(buf, b"x")
+
+    def test_untagged_cap_unusable(self, ctx):
+        buf = ctx.malloc(16).invalidated()
+        with pytest.raises(TagFault):
+            ctx.load(buf, 1)
+
+    def test_cap_store_load_roundtrip(self, ctx):
+        holder = ctx.malloc(32)
+        target = ctx.malloc(16)
+        ctx.store_cap(holder, target, offset=16)
+        loaded = ctx.load_cap(holder, offset=16)
+        assert loaded.base == target.base
+        assert loaded.valid
+
+    def test_overwriting_cap_with_data_clears_tag(self, ctx):
+        holder = ctx.malloc(32)
+        ctx.store_cap(holder, ctx.malloc(16))
+        ctx.store(holder, b"junk")  # clears the tag
+        assert not ctx.load_cap(holder).valid
+
+
+class TestComputeAndRegisters:
+    def test_compute_charges_time(self, ctx):
+        before = ctx.os.machine.clock.now_ns
+        ctx.compute(1234)
+        assert ctx.os.machine.clock.now_ns - before == 1234
+
+    def test_register_roundtrip(self, ctx):
+        buf = ctx.malloc(16)
+        ctx.set_reg("c20", buf)
+        assert ctx.reg("c20") is buf
+
+    def test_pid_property(self, ctx):
+        assert ctx.pid == ctx.proc.pid
+
+
+class TestByteHelpers:
+    def test_write_read_bytes_roundtrip(self, ctx):
+        from repro.kernel.vfs import O_CREAT, O_RDONLY, O_RDWR
+        fd = ctx.syscall("open", "/f", O_CREAT | O_RDWR)
+        payload = bytes(range(256)) * 40  # larger than tiny staging
+        assert ctx.write_bytes(fd, payload) == len(payload)
+        ctx.syscall("close", fd)
+        fd = ctx.syscall("open", "/f", O_RDONLY)
+        assert ctx.read_bytes(fd, len(payload)) == payload
+
+    def test_staging_buffer_reused(self, ctx):
+        from repro.kernel.vfs import O_CREAT, O_WRONLY
+        fd = ctx.syscall("open", "/f", O_CREAT | O_WRONLY)
+        blocks_before = None
+        ctx.write_bytes(fd, b"x")
+        blocks_before = ctx.proc.allocator.block_count()
+        ctx.write_bytes(fd, b"y" * 1000)
+        assert ctx.proc.allocator.block_count() == blocks_before
+
+    def test_send_recv_bytes(self, ctx):
+        server_fd = ctx.syscall("listen", 8080)
+        client = GuestContext(ctx.os, ctx.os.spawn(hello_world_image(),
+                                                   "client"))
+        conn_fd = client.syscall("connect", 8080)
+        client.send_bytes(conn_fd, b"request")
+        accepted_fd = ctx.syscall("accept", server_fd)
+        assert ctx.recv_bytes(accepted_fd, 100) == b"request"

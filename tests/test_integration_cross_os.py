@@ -1,0 +1,97 @@
+"""Cross-OS integration: the transparency requirement (R2) as
+observable-equality checks between μFork and the baselines."""
+
+import pytest
+
+from repro.apps.guest import GuestContext
+from repro.apps.hello import hello_world_image
+from repro.apps.redis import MiniRedis, populate, redis_image
+from repro.apps.unixbench import context1, spawn as ub_spawn
+from repro.baselines import MonolithicOS, VMCloneOS
+from repro.core import CopyStrategy, UForkOS
+from repro.machine import Machine
+from repro.mem.layout import KiB, MiB
+
+ALL_OS = [UForkOS, MonolithicOS, VMCloneOS]
+
+
+class TestRedisEquivalence:
+    def _dump_on(self, os_cls) -> bytes:
+        os_ = os_cls(machine=Machine())
+        proc = os_.spawn(redis_image(1 * MiB), "redis")
+        store = MiniRedis(GuestContext(os_, proc), nbuckets=64)
+        for index in range(25):
+            store.set(b"key-%03d" % index, bytes([index]) * (100 + index))
+        store.delete(b"key-007")
+        store.set(b"key-003", b"overwritten")
+        store.bgsave("/dump.rdb")
+        return bytes(os_.ramdisk.open("/dump.rdb").node.data)
+
+    def test_dump_bytes_identical_across_oses(self):
+        """The same workload produces byte-identical snapshots on every
+        OS: fork semantics are fully transparent to the application."""
+        dumps = {os_cls.__name__: self._dump_on(os_cls)
+                 for os_cls in ALL_OS}
+        reference = dumps["UForkOS"]
+        assert dumps["MonolithicOS"] == reference
+        assert dumps["VMCloneOS"] == reference
+
+    def test_dump_on_every_strategy_identical(self):
+        dumps = set()
+        for strategy in CopyStrategy:
+            os_ = UForkOS(machine=Machine(), copy_strategy=strategy)
+            proc = os_.spawn(redis_image(1 * MiB), "redis")
+            store = MiniRedis(GuestContext(os_, proc), nbuckets=64)
+            populate(store, 256 * KiB, value_size=32 * KiB)
+            store.bgsave("/d.rdb")
+            dumps.add(bytes(os_.ramdisk.open("/d.rdb").node.data))
+        assert len(dumps) == 1
+
+
+class TestMicrobenchEquivalence:
+    @pytest.mark.parametrize("os_cls", ALL_OS)
+    def test_spawn_functional_everywhere(self, os_cls):
+        os_ = os_cls(machine=Machine())
+        ctx = GuestContext(os_, os_.spawn(hello_world_image(), "bench"))
+        result = ub_spawn(ctx, iterations=5)
+        assert result.iterations == 5
+        assert os_.process_count() == 1
+
+    @pytest.mark.parametrize("os_cls", [UForkOS, MonolithicOS])
+    def test_context1_counter_correct_everywhere(self, os_cls):
+        os_ = os_cls(machine=Machine())
+        ctx = GuestContext(os_, os_.spawn(hello_world_image(), "bench"))
+        result = context1(ctx, target=40)
+        assert result.final_value >= 40
+
+
+class TestMixedWorkload:
+    def test_redis_and_nginx_coexist_on_one_sasos(self):
+        """Several multiprocess applications share the single address
+        space without interference."""
+        from repro.apps.nginx import MiniNginx, WrkClient, nginx_image
+        os_ = UForkOS(machine=Machine())
+
+        redis_proc = os_.spawn(redis_image(1 * MiB), "redis")
+        store = MiniRedis(GuestContext(os_, redis_proc), nbuckets=64)
+        store.set(b"config", b"workers=2")
+
+        master = GuestContext(os_, os_.spawn(nginx_image(), "nginx"))
+        server = MiniNginx(master, port=8080)
+        server.fork_workers(2)
+        wrk = WrkClient(GuestContext(os_, os_.spawn(nginx_image(), "wrk")),
+                        port=8080)
+
+        # interleave: snapshot while serving requests
+        fd = wrk.issue()
+        metrics = store.bgsave("/snap.rdb")
+        server.serve_one(server.workers[0])
+        assert wrk.complete(fd).startswith(b"HTTP/1.1 200")
+        assert metrics.bytes_written > 0
+        assert store.get(b"config") == b"workers=2"
+
+        dump = MiniRedis.parse_dump(
+            bytes(os_.ramdisk.open("/snap.rdb").node.data)
+        )
+        assert dump == {b"config": b"workers=2"}
+        server.shutdown()

@@ -1,0 +1,73 @@
+"""Tests for the Iso-Unik-like baseline (Table 1's page-tables class)."""
+
+import pytest
+
+from repro.apps.guest import GuestContext
+from repro.apps.hello import GREETING, hello_world_image, run_hello
+from repro.apps import unixbench
+from repro.baselines import IsoUnikOS, MonolithicOS
+from repro.core import UForkOS
+from repro.machine import Machine
+
+
+def boot(os_cls=IsoUnikOS):
+    os_ = os_cls(machine=Machine())
+    return os_, GuestContext(os_, os_.spawn(hello_world_image(), "app"))
+
+
+class TestIsoUnik:
+    def test_apps_run_unmodified(self):
+        _os, ctx = boot()
+        assert run_hello(ctx) == GREETING
+
+    def test_fork_semantics(self):
+        os_, ctx = boot()
+        buf = ctx.malloc(32)
+        ctx.store(buf, b"pre-fork")
+        child = ctx.fork()
+        ctx.store(buf, b"mutated!")
+        assert child.load(buf, 8) == b"pre-fork"  # same VA, own AS
+        child.exit(1)
+        assert ctx.wait(child.pid) == (child.pid, 1)
+
+    def test_cheap_syscalls_like_a_unikernel(self):
+        iso_os, iso_ctx = boot(IsoUnikOS)
+        mono_os, mono_ctx = boot(MonolithicOS)
+        iso = unixbench.syscall_rate(iso_ctx, calls=100)
+        mono = unixbench.syscall_rate(mono_ctx, calls=100)
+        assert iso.per_syscall_ns < mono.per_syscall_ns
+
+    def test_context_switches_flush_tlb_again(self):
+        """The lightweightness loss §2.3 calls out: retrofitting page
+        tables brings the TLB flushes back."""
+        os_, ctx = boot()
+        unixbench.context1(ctx, target=5)
+        assert os_.machine.counters.get("tlb_flush") > 0
+
+    def test_statically_linked(self):
+        os_, ctx = boot()
+        image_pages = None
+        # no library window beyond the image: region ends at the layout
+        assert ctx.proc.region_top == ctx.proc.layout.region_top
+
+    def test_fork_latency_between_ufork_and_monolithic(self):
+        latencies = {}
+        for os_cls in (UForkOS, IsoUnikOS, MonolithicOS):
+            os_, ctx = boot(os_cls)
+            warm = ctx.fork()
+            warm.exit(0)
+            ctx.wait(warm.pid)
+            with os_.machine.clock.measure() as watch:
+                ctx.fork()
+            latencies[os_cls] = watch.elapsed_ns
+        assert latencies[UForkOS] < latencies[IsoUnikOS] \
+            < latencies[MonolithicOS]
+
+    def test_no_allocator_retouch_in_children(self):
+        os_, ctx = boot()
+        block = ctx.malloc(8 * 4096)
+        ctx.store(block, b"z" * (8 * 4096))
+        child = ctx.fork()
+        before = os_.machine.counters.get("cow_page_copies")
+        child.syscall("getpid")
+        assert os_.machine.counters.get("cow_page_copies") == before

@@ -1,0 +1,54 @@
+"""Property-based tests of the μprocess layout invariants (Fig 1)."""
+
+from hypothesis import given, strategies as st
+
+from repro.mem.layout import ProgramImage, SegmentMap
+
+PAGE = 4096
+
+SIZES = st.integers(min_value=1, max_value=1 << 22)
+
+
+@given(
+    code=SIZES, rodata=SIZES, data=SIZES, got_entries=st.integers(1, 4096),
+    tls=SIZES, heap=SIZES, mmap=SIZES, stack=SIZES,
+    base_pages=st.integers(1, 1 << 20),
+)
+def test_prop_layout_invariants(code, rodata, data, got_entries, tls,
+                                heap, mmap, stack, base_pages):
+    image = ProgramImage(
+        "prop", code_size=code, rodata_size=rodata, data_size=data,
+        got_entries=got_entries, tls_size=tls, heap_size=heap,
+        mmap_size=mmap, stack_size=stack,
+    )
+    base = base_pages * PAGE
+    layout = SegmentMap(image, base, PAGE)
+
+    spans = [(spec.name, *layout.span(spec.name))
+             for spec in image.segments()]
+
+    # segments are page-aligned, contiguous, in declared order, and
+    # cover every byte each segment asked for
+    cursor = base
+    for (name, lo, hi), spec in zip(spans, image.segments()):
+        assert lo == cursor
+        assert lo % PAGE == 0 and hi % PAGE == 0
+        assert hi - lo >= spec.size
+        assert hi - lo < spec.size + PAGE
+        cursor = hi
+    assert layout.region_top == cursor
+    assert layout.region_size == image.region_size(PAGE)
+
+    # GOT always holds all its entries
+    assert layout.size("got") >= got_entries * 16
+
+    # segment_of agrees with the spans on boundaries
+    for name, lo, hi in spans:
+        assert layout.segment_of(lo) == name
+        assert layout.segment_of(hi - 1) == name
+
+    # rebasing preserves all offsets exactly
+    moved = layout.rebased(base + 128 * PAGE)
+    for spec in image.segments():
+        assert moved.base(spec.name) - moved.region_base == \
+            layout.base(spec.name) - layout.region_base

@@ -1,0 +1,80 @@
+"""Tests for MiniNginx's static-file mode (ram-disk docroot)."""
+
+import pytest
+
+from repro.apps.guest import GuestContext
+from repro.apps.nginx import MiniNginx, nginx_image
+from repro.core import UForkOS
+from repro.machine import Machine
+
+
+def boot_static(workers=1):
+    os_ = UForkOS(machine=Machine())
+    master = GuestContext(os_, os_.spawn(nginx_image(), "nginx"))
+    server = MiniNginx(master, docroot="/www")
+    server.publish("index.html", b"<h1>hello</h1>")
+    server.publish("big.bin", b"B" * 20_000)
+    server.fork_workers(workers)
+    client = GuestContext(os_, os_.spawn(nginx_image(), "wrk"))
+    return os_, server, client
+
+
+def request(client, server, worker, path):
+    fd = client.syscall("connect", server.port)
+    client.send_bytes(fd, b"GET /" + path + b" HTTP/1.1\r\n\r\n")
+    server.serve_one(worker)
+    # drain the whole response (headers + possibly large body)
+    out = bytearray()
+    while True:
+        chunk = client.recv_bytes(fd, 65536)
+        if not chunk:
+            break
+        out.extend(chunk)
+        if b"\r\n\r\n" in out:
+            header, _, body = bytes(out).partition(b"\r\n\r\n")
+            length = int(header.split(b"content-length: ")[1]
+                         .split(b"\r\n")[0])
+            if len(body) >= length:
+                break
+    client.syscall("close", fd)
+    return bytes(out)
+
+
+class TestStaticServing:
+    def test_serves_published_file(self):
+        os_, server, client = boot_static()
+        response = request(client, server, server.workers[0],
+                           b"index.html")
+        assert response.endswith(b"<h1>hello</h1>")
+
+    def test_large_file_roundtrip(self):
+        os_, server, client = boot_static()
+        response = request(client, server, server.workers[0], b"big.bin")
+        _header, _, body = response.partition(b"\r\n\r\n")
+        assert body == b"B" * 20_000
+
+    def test_missing_file_is_404(self):
+        os_, server, client = boot_static()
+        response = request(client, server, server.workers[0], b"nope.txt")
+        assert b"404 not found" in response
+
+    def test_workers_see_files_published_before_fork(self):
+        """fd-independent: the docroot lives in the shared ram-disk, so
+        every forked worker serves the same content."""
+        os_, server, client = boot_static(workers=3)
+        for worker in server.workers:
+            response = request(client, server, worker, b"index.html")
+            assert response.endswith(b"<h1>hello</h1>")
+
+    def test_file_io_charged_per_request(self):
+        os_, server, client = boot_static()
+        ops_before = os_.machine.counters.get("syscall_open")
+        request(client, server, server.workers[0], b"index.html")
+        assert os_.machine.counters.get("syscall_open") > ops_before
+
+    def test_publish_without_docroot_rejected(self):
+        os_ = UForkOS(machine=Machine())
+        master = GuestContext(os_, os_.spawn(nginx_image(), "nginx"))
+        server = MiniNginx(master)
+        with pytest.raises(ValueError):
+            server.publish("x", b"y")

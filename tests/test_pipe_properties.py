@@ -1,0 +1,69 @@
+"""Property-based tests for pipes: the byte stream matches a simple
+FIFO model under arbitrary interleavings of reads and writes."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WouldBlock
+from repro.kernel.ipc import Pipe
+from repro.machine import Machine
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), st.binary(min_size=1, max_size=64)),
+        st.tuples(st.just("read"), st.integers(1, 64)),
+    ),
+    max_size=80,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=OPS, capacity=st.integers(8, 256))
+def test_prop_pipe_is_a_fifo(ops, capacity):
+    machine = Machine()
+    pipe = Pipe(machine, capacity=capacity)
+    model = bytearray()
+    written = bytearray()
+    read_back = bytearray()
+
+    for op, arg in ops:
+        if op == "write":
+            try:
+                accepted = pipe.write(arg)
+            except WouldBlock:
+                assert len(model) >= capacity
+                continue
+            # short writes happen exactly at capacity
+            assert accepted == min(len(arg), capacity - len(model))
+            model.extend(arg[:accepted])
+            written.extend(arg[:accepted])
+        else:
+            try:
+                chunk = pipe.read(arg)
+            except WouldBlock:
+                assert not model
+                continue
+            assert chunk == bytes(model[:arg])
+            del model[:len(chunk)]
+            read_back.extend(chunk)
+
+    # conservation: bytes out is a prefix of bytes in
+    assert bytes(written[:len(read_back)]) == bytes(read_back)
+    assert pipe.buffered == len(model)
+
+
+@settings(max_examples=30, deadline=None)
+@given(chunks=st.lists(st.binary(min_size=1, max_size=32), min_size=1,
+                       max_size=20))
+def test_prop_drain_after_writer_close_yields_exact_stream(chunks):
+    machine = Machine()
+    pipe = Pipe(machine, capacity=1 << 16)
+    for chunk in chunks:
+        pipe.write(chunk)
+    pipe.write_open = False
+    out = bytearray()
+    while True:
+        piece = pipe.read(7)
+        if not piece:
+            break
+        out.extend(piece)
+    assert bytes(out) == b"".join(chunks)

@@ -1,0 +1,117 @@
+"""Tests for the extended MiniRedis command set and FunctionBench
+workload variants."""
+
+import pytest
+
+from repro.apps.faas import FUNCTIONBENCH, ZygoteRuntime, faas_image
+from repro.apps.guest import GuestContext
+from repro.apps.redis import MiniRedis, redis_image
+from repro.core import UForkOS
+from repro.errors import InvalidArgument
+from repro.machine import Machine
+from repro.mem.layout import MiB
+
+
+def boot_store():
+    os_ = UForkOS(machine=Machine())
+    proc = os_.spawn(redis_image(1 * MiB), "redis")
+    return os_, MiniRedis(GuestContext(os_, proc), nbuckets=64)
+
+
+class TestExtendedCommands:
+    def test_exists(self):
+        _os, store = boot_store()
+        store.set(b"k", b"v")
+        assert store.exists(b"k")
+        assert not store.exists(b"nope")
+
+    def test_append_creates_and_extends(self):
+        _os, store = boot_store()
+        assert store.append(b"log", b"one ") == 4
+        assert store.append(b"log", b"two") == 7
+        assert store.get(b"log") == b"one two"
+        assert store.size() == 1
+
+    def test_incr_semantics(self):
+        _os, store = boot_store()
+        assert store.incr(b"hits") == 1
+        assert store.incr(b"hits") == 2
+        assert store.incr(b"hits", 10) == 12
+        assert store.get(b"hits") == b"12"
+
+    def test_incr_non_numeric_rejected(self):
+        _os, store = boot_store()
+        store.set(b"name", b"alice")
+        with pytest.raises(InvalidArgument):
+            store.incr(b"name")
+
+    def test_keys_and_flushall(self):
+        _os, store = boot_store()
+        for index in range(10):
+            store.set(b"k%d" % index, b"v")
+        assert sorted(store.keys()) == sorted(
+            b"k%d" % index for index in range(10)
+        )
+        assert store.flushall() == 10
+        assert store.size() == 0
+        assert store.keys() == []
+
+    def test_counter_survives_fork(self):
+        """INCR on the parent post-fork does not move the child's view:
+        the counter bytes live in snapshotted guest memory."""
+        _os, store = boot_store()
+        store.incr(b"c")  # 1
+        child_ctx = store.ctx.fork()
+        child_store = MiniRedis.attach(child_ctx)
+        store.incr(b"c")  # parent: 2
+        assert store.get(b"c") == b"2"
+        assert child_store.get(b"c") == b"1"
+        child_ctx.exit(0)
+        store.ctx.wait(child_ctx.pid)
+
+
+class TestFunctionBenchVariants:
+    def boot(self):
+        os_ = UForkOS(machine=Machine())
+        runtime = ZygoteRuntime(
+            GuestContext(os_, os_.spawn(faas_image(), "zygote"))
+        )
+        runtime.warm()
+        return os_, runtime
+
+    @pytest.mark.parametrize("function", sorted(FUNCTIONBENCH))
+    def test_each_workload_runs(self, function):
+        os_, runtime = self.boot()
+        result = runtime.handle_request(function=function)
+        assert result.ok
+        assert os_.process_count() == 1
+
+    def test_unknown_workload_rejected(self):
+        from repro.apps.faas import run_function
+        os_, runtime = self.boot()
+        child = runtime.ctx.fork()
+        with pytest.raises(ValueError):
+            run_function(child, "no_such_benchmark")
+
+    def test_heavier_workloads_cost_more(self):
+        os_, runtime = self.boot()
+        costs = {}
+        for function in ("float_operation", "matmul"):
+            with os_.machine.clock.measure() as watch:
+                runtime.handle_request(function=function)
+            costs[function] = watch.elapsed_ns
+        assert costs["matmul"] > 2 * costs["float_operation"]
+
+    def test_working_set_workloads_break_more_pages(self):
+        """matmul's working set writes force CoW breaks float_operation
+        never pays — visible in the page-copy counter."""
+        copies = {}
+        for function in ("float_operation", "matmul"):
+            os_, runtime = self.boot()
+            runtime.handle_request(function=function)  # warm
+            before = os_.machine.counters.get("fork_page_copies")
+            runtime.handle_request(function=function)
+            copies[function] = (
+                os_.machine.counters.get("fork_page_copies") - before
+            )
+        assert copies["matmul"] > copies["float_operation"]

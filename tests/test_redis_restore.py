@@ -1,0 +1,73 @@
+"""Tests for the Redis snapshot restore path (RDB load), completing the
+snapshot lifecycle: populate -> BGSAVE (fork) -> restart -> load."""
+
+import pytest
+
+from repro.apps.guest import GuestContext
+from repro.apps.redis import MiniRedis, populate, redis_image
+from repro.baselines import MonolithicOS
+from repro.core import UForkOS
+from repro.errors import FileNotFound
+from repro.machine import Machine
+from repro.mem.layout import KiB, MiB
+
+
+def boot_store(os_=None, name="redis", nbuckets=64):
+    os_ = os_ or UForkOS(machine=Machine())
+    proc = os_.spawn(redis_image(1 * MiB), name)
+    return os_, MiniRedis(GuestContext(os_, proc), nbuckets=nbuckets)
+
+
+class TestRestore:
+    def test_save_restart_load_roundtrip(self):
+        os_, store = boot_store()
+        expected = {}
+        for index in range(30):
+            key = b"k%03d" % index
+            value = bytes([index]) * (50 + index * 3)
+            store.set(key, value)
+            expected[key] = value
+        store.bgsave("/dump.rdb")
+
+        # "restart": a brand new server process loads the dump
+        _os, fresh = boot_store(os_, name="redis-restarted")
+        assert fresh.load_from("/dump.rdb") == 30
+        assert dict(fresh.items()) == expected
+
+    def test_restore_missing_file(self):
+        os_, store = boot_store()
+        with pytest.raises(FileNotFound):
+            store.load_from("/nope.rdb")
+
+    def test_restore_corrupt_magic(self):
+        os_, store = boot_store()
+        from repro.kernel.vfs import O_CREAT, O_WRONLY
+        handle = os_.ramdisk.open("/bad.rdb", O_CREAT | O_WRONLY)
+        handle.node.data = bytearray(b"NOTANRDB" + b"\x00" * 16)
+        with pytest.raises(ValueError):
+            store.load_from("/bad.rdb")
+
+    def test_restore_after_fork_child_saved_it(self):
+        """Full lifecycle on one machine: the snapshot a forked child
+        wrote is loadable by a later process (cross-μprocess I/O)."""
+        os_, store = boot_store()
+        populate(store, 256 * KiB, value_size=32 * KiB)
+        store.set(b"marker", b"pre-snapshot")
+        store.bgsave("/snap.rdb")
+        store.set(b"marker", b"post-snapshot")
+
+        _os, replica = boot_store(os_, name="replica")
+        replica.load_from("/snap.rdb")
+        assert replica.get(b"marker") == b"pre-snapshot"
+        assert replica.size() == store.size()
+
+    def test_restore_identical_across_oses(self):
+        dumps = {}
+        for os_cls in (UForkOS, MonolithicOS):
+            os_, store = boot_store(os_cls(machine=Machine()))
+            store.set(b"x", b"42")
+            store.bgsave("/d.rdb")
+            _os, fresh = boot_store(os_, name="fresh")
+            fresh.load_from("/d.rdb")
+            dumps[os_cls.__name__] = dict(fresh.items())
+        assert dumps["UForkOS"] == dumps["MonolithicOS"] == {b"x": b"42"}

@@ -1,0 +1,132 @@
+"""Tests for per-process signals (paper §4.5 kernel state)."""
+
+import pytest
+
+from repro.apps.guest import GuestContext
+from repro.apps.hello import hello_world_image
+from repro.baselines import MonolithicOS
+from repro.core import UForkOS
+from repro.errors import InvalidArgument, NoSuchProcess
+from repro.kernel.signals import (
+    SIG_IGN,
+    SIGCHLD,
+    SIGKILL,
+    SIGTERM,
+    SIGUSR1,
+)
+from repro.machine import Machine
+
+
+def boot(os_cls=UForkOS):
+    os_ = os_cls(machine=Machine())
+    return os_, GuestContext(os_, os_.spawn(hello_world_image(), "app"))
+
+
+class TestKill:
+    def test_sigkill_terminates_immediately(self):
+        os_, ctx = boot()
+        victim = ctx.fork()
+        ctx.syscall("kill", victim.pid, SIGKILL)
+        assert not victim.proc.alive
+        assert victim.proc.exit_status == 128 + SIGKILL
+
+    def test_sigkill_cannot_be_caught(self):
+        os_, ctx = boot()
+        victim = ctx.fork()
+        with pytest.raises(InvalidArgument):
+            victim.syscall("signal", SIGKILL, lambda proc, sig: None)
+
+    def test_sigterm_default_terminates_at_next_syscall(self):
+        os_, ctx = boot()
+        victim = ctx.fork()
+        ctx.syscall("kill", victim.pid, SIGTERM)
+        assert victim.proc.alive  # queued, not yet delivered
+        with pytest.raises(NoSuchProcess):
+            victim.syscall("getpid")  # delivery at kernel boundary
+        assert victim.proc.exit_status == 128 + SIGTERM
+
+    def test_sigterm_can_be_ignored(self):
+        os_, ctx = boot()
+        victim = ctx.fork()
+        victim.syscall("signal", SIGTERM, SIG_IGN)
+        ctx.syscall("kill", victim.pid, SIGTERM)
+        assert victim.syscall("getpid") == victim.pid
+        assert victim.proc.alive
+
+    def test_bad_signal_rejected(self):
+        os_, ctx = boot()
+        with pytest.raises(InvalidArgument):
+            ctx.syscall("kill", ctx.pid, 99)
+
+    def test_kill_unknown_pid(self):
+        os_, ctx = boot()
+        with pytest.raises(NoSuchProcess):
+            ctx.syscall("kill", 424242, SIGTERM)
+
+
+class TestHandlers:
+    def test_user_handler_runs_on_delivery(self):
+        os_, ctx = boot()
+        received = []
+        ctx.syscall("signal", SIGUSR1,
+                    lambda proc, sig: received.append((proc.pid, sig)))
+        ctx.syscall("kill", ctx.pid, SIGUSR1)
+        ctx.syscall("getpid")  # boundary crossing delivers
+        assert received == [(ctx.pid, SIGUSR1)]
+
+    def test_sigchld_queued_on_child_exit(self):
+        from repro.kernel.signals import signal_state
+        os_, ctx = boot()
+        child = ctx.fork()
+        child.exit(0)
+        # observed kernel-side: the next kernel entry would deliver it
+        # (and the default SIGCHLD disposition discards it)
+        assert SIGCHLD in signal_state(ctx.proc).pending
+        ctx.syscall("getpid")
+        assert SIGCHLD not in signal_state(ctx.proc).pending
+
+    def test_sigchld_handler_drives_reaping(self):
+        os_, ctx = boot()
+        reaped = []
+
+        def on_chld(proc, sig):
+            pid, status = os_.sys_waitpid(proc)
+            reaped.append((pid, status))
+
+        ctx.syscall("signal", SIGCHLD, on_chld)
+        child = ctx.fork()
+        child.exit(5)
+        ctx.syscall("getpid")
+        assert reaped == [(child.pid, 5)]
+
+    def test_handlers_inherited_across_fork(self):
+        os_, ctx = boot()
+        hits = []
+        ctx.syscall("signal", SIGUSR1, lambda proc, sig: hits.append(proc.pid))
+        child = ctx.fork()
+        child.syscall("kill", child.pid, SIGUSR1)
+        child.syscall("getpid")
+        assert hits == [child.pid]
+
+    def test_pending_signals_not_inherited(self):
+        os_, ctx = boot()
+        ctx.syscall("kill", ctx.pid, SIGUSR1)  # queued on the parent
+        child = ctx.fork()
+        assert child.syscall("sigpending") == []
+
+    @pytest.mark.parametrize("os_cls", [UForkOS, MonolithicOS])
+    def test_signals_work_on_both_oses(self, os_cls):
+        os_, ctx = boot(os_cls)
+        hits = []
+        ctx.syscall("signal", SIGUSR1, lambda proc, sig: hits.append(sig))
+        ctx.syscall("kill", ctx.pid, SIGUSR1)
+        ctx.syscall("getpid")
+        assert hits == [SIGUSR1]
+
+    def test_delivery_charges_domain_switch(self):
+        os_, ctx = boot()
+        ctx.syscall("signal", SIGUSR1, lambda proc, sig: None)
+        ctx.syscall("kill", ctx.pid, SIGUSR1)
+        bucket_before = os_.machine.clock.bucket_ns("signal_delivery")
+        ctx.syscall("getpid")
+        assert os_.machine.clock.bucket_ns("signal_delivery") > bucket_before

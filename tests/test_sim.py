@@ -1,0 +1,139 @@
+"""Tests for the discrete-event concurrency models (Figs 6/7 machinery)."""
+
+import pytest
+
+from repro.sim import (
+    EventSim,
+    simulate_closed_workers,
+    simulate_fork_pipeline,
+)
+
+SECOND = 1_000_000_000
+
+
+class TestEventSim:
+    def test_events_run_in_time_order(self):
+        sim = EventSim()
+        order = []
+        sim.schedule(30, lambda: order.append("c"))
+        sim.schedule(10, lambda: order.append("a"))
+        sim.schedule(20, lambda: order.append("b"))
+        sim.run_until(100)
+        assert order == ["a", "b", "c"]
+        assert sim.now == 100
+
+    def test_same_time_fifo(self):
+        sim = EventSim()
+        order = []
+        sim.schedule(5, lambda: order.append(1))
+        sim.schedule(5, lambda: order.append(2))
+        sim.run_until(10)
+        assert order == [1, 2]
+
+    def test_events_past_deadline_not_run(self):
+        sim = EventSim()
+        ran = []
+        sim.schedule(50, lambda: ran.append(True))
+        sim.run_until(40)
+        assert not ran
+
+    def test_schedule_in_past_rejected(self):
+        sim = EventSim()
+        sim.schedule(10, lambda: sim.schedule(5, lambda: None))
+        with pytest.raises(ValueError):
+            sim.run_until(20)
+
+    def test_cascading_events(self):
+        sim = EventSim()
+        count = []
+
+        def tick():
+            count.append(sim.now)
+            if sim.now < 50:
+                sim.schedule(sim.now + 10, tick)
+
+        sim.schedule(0, tick)
+        sim.run_until(100)
+        assert count == [0, 10, 20, 30, 40, 50]
+
+
+class TestForkPipeline:
+    def test_fork_bound_regime(self):
+        """When fork is slow, throughput ~ 1/fork regardless of cores."""
+        result = simulate_fork_pipeline(
+            fork_ns=1_000_000, child_ns=100_000, worker_cores=3,
+            duration_ns=SECOND,
+        )
+        assert result.throughput_per_s == pytest.approx(1000, rel=0.05)
+
+    def test_worker_bound_regime(self):
+        """When fork is fast, throughput ~ cores / child time."""
+        result = simulate_fork_pipeline(
+            fork_ns=10_000, child_ns=1_000_000, worker_cores=3,
+            duration_ns=SECOND,
+        )
+        assert result.throughput_per_s == pytest.approx(3000, rel=0.05)
+
+    def test_scales_with_cores_until_fork_bound(self):
+        results = [
+            simulate_fork_pipeline(200_000, 500_000, cores,
+                                   duration_ns=SECOND).throughput_per_s
+            for cores in (1, 2, 3)
+        ]
+        assert results[1] > 1.8 * results[0]
+        # at 3 cores the 200 us fork caps the rate at ~5000/s
+        assert results[2] == pytest.approx(5000, rel=0.1)
+
+    def test_zero_duration(self):
+        result = simulate_fork_pipeline(1000, 1000, 1, duration_ns=0)
+        assert result.completions == 0
+        assert result.throughput_per_s == 0.0
+
+
+class TestClosedWorkers:
+    def test_single_worker_rate(self):
+        result = simulate_closed_workers(
+            cpu_ns=50_000, io_ns=50_000, workers=1, cores=1,
+            duration_ns=SECOND,
+        )
+        assert result.throughput_per_s == pytest.approx(10_000, rel=0.02)
+
+    def test_workers_overlap_io_on_one_core(self):
+        """The Fig 7 effect: extra workers fill the I/O gaps."""
+        one = simulate_closed_workers(80_000, 20_000, workers=1, cores=1,
+                                      duration_ns=SECOND)
+        three = simulate_closed_workers(80_000, 20_000, workers=3, cores=1,
+                                        duration_ns=SECOND)
+        assert three.throughput_per_s > one.throughput_per_s
+        # but bounded by the CPU: at most 1/cpu
+        assert three.throughput_per_s <= 1e9 / 80_000 * 1.01
+
+    def test_scales_with_cores(self):
+        one = simulate_closed_workers(100_000, 10_000, workers=1, cores=1,
+                                      duration_ns=SECOND)
+        three = simulate_closed_workers(100_000, 10_000, workers=3, cores=3,
+                                        duration_ns=SECOND)
+        assert three.throughput_per_s == pytest.approx(
+            3 * one.throughput_per_s, rel=0.05
+        )
+
+    def test_big_kernel_lock_limits_multicore(self):
+        """Unikraft's big kernel lock (§4.5): serialized kernel time caps
+        multicore scaling."""
+        free = simulate_closed_workers(100_000, 0, workers=4, cores=4,
+                                       duration_ns=SECOND,
+                                       kernel_lock_fraction=0.0)
+        locked = simulate_closed_workers(100_000, 0, workers=4, cores=4,
+                                         duration_ns=SECOND,
+                                         kernel_lock_fraction=1.0)
+        assert locked.throughput_per_s < 0.35 * free.throughput_per_s
+        # fully-serialized kernel ~ single-core rate
+        assert locked.throughput_per_s == pytest.approx(10_000, rel=0.1)
+
+    def test_lock_irrelevant_on_one_core(self):
+        base = simulate_closed_workers(50_000, 5_000, workers=2, cores=1,
+                                       duration_ns=SECOND)
+        locked = simulate_closed_workers(50_000, 5_000, workers=2, cores=1,
+                                         duration_ns=SECOND,
+                                         kernel_lock_fraction=0.9)
+        assert locked.throughput_per_s >= 0.9 * base.throughput_per_s

@@ -1,0 +1,66 @@
+"""Tests for multi-threaded μprocesses (paper §3.4, building block 1:
+"Each μprocess may have many threads. ... This matches the semantics of
+fork, which copies a single thread")."""
+
+from repro.apps.guest import GuestContext
+from repro.apps.hello import hello_world_image
+from repro.cheri.regfile import DDC
+from repro.core import UForkOS
+from repro.machine import Machine
+
+
+def boot():
+    os_ = UForkOS(machine=Machine())
+    return os_, GuestContext(os_, os_.spawn(hello_world_image(), "app"))
+
+
+class TestThreads:
+    def test_thread_shares_pid_and_memory(self):
+        os_, ctx = boot()
+        task = ctx.syscall("thread_create")
+        assert task.process is ctx.proc
+        assert len(ctx.proc.tasks) == 2
+        # both threads see the same heap
+        buf = ctx.malloc(16)
+        ctx.store(buf, b"shared")
+        thread_ddc = task.registers.get_cap(DDC)
+        assert thread_ddc.base == ctx.reg(DDC).base
+
+    def test_threads_scheduled(self):
+        os_, ctx = boot()
+        task = ctx.syscall("thread_create")
+        os_.sched.switch_to(ctx.proc.main_task())
+        assert os_.sched.yield_current() is task
+
+    def test_fork_copies_a_single_thread(self):
+        """POSIX: the child of a multithreaded fork has one thread."""
+        os_, ctx = boot()
+        ctx.syscall("thread_create")
+        ctx.syscall("thread_create")
+        assert len(ctx.proc.tasks) == 3
+        child = ctx.fork()
+        assert len(child.proc.tasks) == 1
+
+    def test_child_thread_registers_relocated(self):
+        os_, ctx = boot()
+        ctx.syscall("thread_create")
+        child = ctx.fork()
+        ddc = child.proc.main_task().registers.get_cap(DDC)
+        assert ddc.base == child.proc.region_base
+
+    def test_exit_removes_all_threads_from_scheduler(self):
+        os_, ctx = boot()
+        child = ctx.fork()
+        GuestContext(os_, child.proc).syscall("thread_create")
+        runnable_before = os_.sched.runnable_count
+        child.exit(0)
+        assert os_.sched.runnable_count < runnable_before
+
+    def test_new_pid_only_on_fork_not_thread(self):
+        """Spawning a new μprocess creates a new PID; a thread does not
+        (§3.4)."""
+        os_, ctx = boot()
+        task = ctx.syscall("thread_create")
+        assert task.process.pid == ctx.pid
+        child = ctx.fork()
+        assert child.pid != ctx.pid
