@@ -25,7 +25,9 @@ Infrastructure:
 * :class:`MachineConfig` / :class:`CostModel` -- configuration surfaces
 
 Workloads live in :mod:`repro.apps`; per-figure experiments in
-:mod:`repro.harness`.
+:mod:`repro.harness`; the observability layer (``machine.obs``:
+metrics, span profiling, JSON export -- docs/OBSERVABILITY.md) in
+:mod:`repro.obs`.
 """
 
 from repro.apps.guest import GuestContext

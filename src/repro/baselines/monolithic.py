@@ -67,6 +67,7 @@ def handle_cow_fault(space: AddressSpace, vaddr: int,
         new_frame = machine.phys.copy_frame(pte.frame, preserve_tags=True)
         space.replace_frame(vpn, new_frame)
         machine.counters.add("cow_page_copies")
+    machine.obs.count("baselines.monolithic.cow_breaks")
     pte.perms |= PagePerm.WRITE
     pte.cow = False
     return True
@@ -175,9 +176,15 @@ class MonolithicOS(AbstractOS):
     # ------------------------------------------------------------------
 
     def fork(self, proc: Process) -> Process:
+        """Classic fork: duplicate the page table entry-by-entry and
+        mark writable pages CoW.  Observability: phases run inside
+        ``fixed`` / ``pte_copy`` / ``registers`` / ``allocator`` spans
+        under the caller's ``syscall.fork`` span."""
         machine = self.machine
-        machine.charge(getattr(machine.costs, self.FORK_FIXED_ATTR),
-                       "fork_fixed")
+        obs = machine.obs
+        with obs.span("fixed"):
+            machine.charge(getattr(machine.costs, self.FORK_FIXED_ATTR),
+                           "fork_fixed")
 
         child = Process(self.pids.allocate(), proc.name, parent=proc)
         child.layout = proc.layout
@@ -189,36 +196,40 @@ class MonolithicOS(AbstractOS):
 
         child_space = AddressSpace(machine, f"as-{proc.name}-{child.pid}")
         child_space.fault_handler = handle_cow_fault
-        for vpn, pte in list(proc.space.page_table.entries()):
-            machine.charge(machine.costs.pte_copy_ns, "fork_pte_copy")
-            writable = bool(pte.perms & PagePerm.WRITE)
-            if writable:
-                # mark both sides CoW
-                pte.perms &= ~PagePerm.WRITE
-                pte.cow = True
-                child_space.map_page(vpn, pte.frame,
-                                     pte.perms, incref=True, cow=True)
-            else:
-                child_space.map_page(vpn, pte.frame, pte.perms, incref=True,
-                                     cow=pte.cow)
+        with obs.span("pte_copy"):
+            for vpn, pte in list(proc.space.page_table.entries()):
+                machine.charge(machine.costs.pte_copy_ns, "fork_pte_copy")
+                writable = bool(pte.perms & PagePerm.WRITE)
+                if writable:
+                    # mark both sides CoW
+                    pte.perms &= ~PagePerm.WRITE
+                    pte.cow = True
+                    child_space.map_page(vpn, pte.frame,
+                                         pte.perms, incref=True, cow=True)
+                else:
+                    child_space.map_page(vpn, pte.frame, pte.perms,
+                                         incref=True, cow=pte.cow)
         child.space = child_space
 
         # registers copy verbatim: identical virtual addresses
         task = child.add_task()
-        for name, value in proc.main_task().registers.items():
-            task.registers.set(name, value)
+        with obs.span("registers"):
+            for name, value in proc.main_task().registers.items():
+                task.registers.set(name, value)
 
-        child.allocator = type(proc.allocator)(
-            machine, child_space, proc.allocator.heap_cap,
-            max_blocks=proc.allocator.max_blocks,
-        )
-        child.allocator.attach_lazy()
+        with obs.span("allocator"):
+            child.allocator = type(proc.allocator)(
+                machine, child_space, proc.allocator.heap_cap,
+                max_blocks=proc.allocator.max_blocks,
+            )
+            child.allocator.attach_lazy()
         #: deferred allocator arena re-touch (runs when the child starts)
         child._pending_allocator_touch = True
 
         self.procs.add(child)
         self.sched.add(task)
         machine.counters.add("fork")
+        obs.count("baselines.monolithic.forks")
         return child
 
     def syscall(self, proc: Process, name: str, *args: Any,
@@ -259,6 +270,8 @@ class MonolithicOS(AbstractOS):
             pte.cow = False
             touched += 1
         machine.counters.add("allocator_touch_pages", touched)
+        machine.obs.count("baselines.monolithic.allocator_touch_pages",
+                          touched)
 
     # ------------------------------------------------------------------
     # Exit / metrics

@@ -118,13 +118,18 @@ class VMCloneOS(AbstractOS):
     # ------------------------------------------------------------------
 
     def fork(self, proc: Process) -> Process:
+        """Clone the whole VM.  Observability: phases run inside
+        ``domain_create`` / ``clone_pages`` / ``registers`` /
+        ``allocator`` spans under the caller's ``syscall.fork`` span."""
         machine = self.machine
         costs = machine.costs
-        # domain creation: the dominant, size-independent cost
-        machine.charge(costs.vm_clone_fixed_ns, "vm_clone_fixed")
-        # a handful of hypercalls for console/device/grant plumbing
-        for _ in range(6):
-            machine.charge(costs.hypercall_ns, "hypercall")
+        obs = machine.obs
+        with obs.span("domain_create"):
+            # domain creation: the dominant, size-independent cost
+            machine.charge(costs.vm_clone_fixed_ns, "vm_clone_fixed")
+            # a handful of hypercalls for console/device/grant plumbing
+            for _ in range(6):
+                machine.charge(costs.hypercall_ns, "hypercall")
 
         child = Process(self.pids.allocate(), proc.name, parent=proc)
         child.layout = proc.layout
@@ -135,28 +140,32 @@ class VMCloneOS(AbstractOS):
         child.signal_state = _signals.signal_state(proc).fork_copy()
 
         child_space = AddressSpace(machine, f"vm-{proc.name}-{child.pid}")
-        for vpn, pte in proc.space.page_table.entries():
-            machine.charge(costs.vm_clone_page_ns, "vm_clone_page")
-            new_frame = machine.phys.copy_frame(pte.frame,
-                                                preserve_tags=True,
-                                                charge=False)
-            child_space.map_page(vpn, new_frame, pte.perms)
+        with obs.span("clone_pages"):
+            for vpn, pte in proc.space.page_table.entries():
+                machine.charge(costs.vm_clone_page_ns, "vm_clone_page")
+                new_frame = machine.phys.copy_frame(pte.frame,
+                                                    preserve_tags=True,
+                                                    charge=False)
+                child_space.map_page(vpn, new_frame, pte.perms)
         child.space = child_space
 
         # same guest VA in the clone: registers copy verbatim
         task = child.add_task()
-        for name, value in proc.main_task().registers.items():
-            task.registers.set(name, value)
+        with obs.span("registers"):
+            for name, value in proc.main_task().registers.items():
+                task.registers.set(name, value)
 
-        child.allocator = type(proc.allocator)(
-            machine, child_space, proc.allocator.heap_cap,
-            max_blocks=proc.allocator.max_blocks,
-        )
-        child.allocator.attach_lazy()
+        with obs.span("allocator"):
+            child.allocator = type(proc.allocator)(
+                machine, child_space, proc.allocator.heap_cap,
+                max_blocks=proc.allocator.max_blocks,
+            )
+            child.allocator.attach_lazy()
 
         self.procs.add(child)
         self.sched.add(task)
         machine.counters.add("fork")
+        obs.count("baselines.vmclone.forks")
         return child
 
     # ------------------------------------------------------------------

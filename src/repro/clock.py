@@ -23,11 +23,18 @@ class SimClock:
     ``advance`` optionally attributes the charged time to a named bucket
     (e.g. ``"fork"``, ``"page_copy"``) so experiments can break latency
     down the way the paper's figures do.
+
+    ``observer`` is the hook the observability layer
+    (:mod:`repro.obs`) installs while enabled: every advance is
+    mirrored as ``observer(ns, bucket)``.  A ``None`` observer costs
+    one attribute check per advance — the same contract as tracing.
     """
 
     def __init__(self) -> None:
         self._now_ns = 0
         self.buckets: Dict[str, int] = {}
+        #: optional ``(ns, bucket)`` callback (see :mod:`repro.obs`)
+        self.observer = None
 
     # -- reading ------------------------------------------------------
 
@@ -57,11 +64,16 @@ class SimClock:
         self._now_ns += ns_int
         if bucket is not None:
             self.buckets[bucket] = self.buckets.get(bucket, 0) + ns_int
+        if self.observer is not None:
+            self.observer(ns_int, bucket)
 
     def advance_to(self, ns: int) -> None:
         """Move the clock forward to an absolute time (no-op if in the past)."""
         if ns > self._now_ns:
+            delta = ns - self._now_ns
             self._now_ns = ns
+            if self.observer is not None:
+                self.observer(delta, None)
 
     # -- measurement helpers -------------------------------------------
 

@@ -82,6 +82,11 @@ def relocate_frame(machine: Any, frame: Frame, regions: RegionPair) -> int:
         machine.costs.page_scan_ns(config.page_size, config.granule),
         "reloc_scan",
     )
+    obs = machine.obs
+    if obs.enabled:
+        obs.count("core.relocate.frames_scanned")
+        obs.count("hw.phys.tag_granules_scanned",
+                  config.page_size // config.granule)
     relocated = 0
     for offset in frame.tagged_granules():
         cap = frame.load_cap(offset, machine.codec)
@@ -92,6 +97,7 @@ def relocate_frame(machine: Any, frame: Frame, regions: RegionPair) -> int:
             relocated += 1
     if relocated:
         machine.counters.add("caps_relocated", relocated)
+        obs.count("core.relocate.caps_relocated", relocated)
         machine.trace("relocate_frame", caps=relocated)
     return relocated
 
@@ -109,6 +115,8 @@ def relocate_registers(machine: Any, registers: RegisterFile,
             registers.set(name, moved)
             machine.charge(machine.costs.cap_relocate_ns, "reloc_reg")
             relocated += 1
+    if relocated:
+        machine.obs.count("core.relocate.registers_relocated", relocated)
     return relocated
 
 

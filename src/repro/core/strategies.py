@@ -105,6 +105,8 @@ def copy_page_for_child(space: AddressSpace, child_vpn: int,
         space.replace_frame(child_vpn, new_frame)
         space.protect_page(child_vpn, perms)
     machine.counters.add("fork_page_copies")
+    machine.obs.count("core.strategies.eager_page_copies" if map_new
+                      else "core.strategies.fault_page_copies")
     machine.trace("fork_page_copy", vpn=child_vpn,
                   eager=map_new)
 
@@ -128,6 +130,8 @@ def handle_fork_fault(space: AddressSpace, vaddr: int,
             return False  # parent reads never fault under either strategy
         _make_private(space, vpn, pte, relocate=False, note=note)
         machine.counters.add("fork_parent_cow_break")
+        machine.obs.count(
+            f"core.strategies.{note.strategy.value}.break.parent.write")
         machine.trace("cow_break", role="parent", vpn=vpn)
         return True
 
@@ -136,6 +140,8 @@ def handle_fork_fault(space: AddressSpace, vaddr: int,
         return False  # CoPA allows plain reads; this fault is something else
     _make_private(space, vpn, pte, relocate=True, note=note)
     machine.counters.add(f"fork_child_break_{kind.name.lower()}")
+    machine.obs.count(f"core.strategies.{note.strategy.value}"
+                      f".break.child.{kind.name.lower()}")
     machine.trace("cow_break", role="child", vpn=vpn,
                   kind=kind.name.lower())
     return True
@@ -179,4 +185,7 @@ def resolve_all_pending(space: AddressSpace, region_base: int,
             machine.charge(machine.costs.page_fault_ns, "page_fault")
             _make_private(space, vpn, pte, relocate=True, note=pte.note)
             resolved += 1
+    if resolved:
+        machine.obs.count("core.strategies.resolved_pending_pages",
+                          resolved)
     return resolved

@@ -168,14 +168,23 @@ class UForkOS(AbstractOS):
     # ------------------------------------------------------------------
 
     def fork(self, proc: Process) -> Process:
+        """μFork (§3.5).  Observability: phases run inside ``fixed`` /
+        ``resolve_pending`` / ``copy_pages`` / ``registers`` /
+        ``allocator`` spans, so one fork's simulated cost decomposes
+        hierarchically under its ``syscall.fork`` span (the paper's
+        cost-model tree; see docs/OBSERVABILITY.md for a worked
+        example)."""
         machine = self.machine
+        obs = machine.obs
         page = machine.config.page_size
-        machine.charge(machine.costs.ufork_fixed_ns, "fork_fixed")
+        with obs.span("fixed"):
+            machine.charge(machine.costs.ufork_fixed_ns, "fork_fixed")
 
         # A process forking while some of its own pages are still shared
         # with *its* parent first stabilizes its image, keeping every
         # relocation a single-hop rebase.
-        resolve_all_pending(self.space, proc.region_base, proc.region_top)
+        with obs.span("resolve_pending"):
+            resolve_all_pending(self.space, proc.region_base, proc.region_top)
 
         # 1. reserve the child's contiguous area and mirror the layout
         child_base = self.vspace.reserve(proc.region_size)
@@ -202,25 +211,29 @@ class UForkOS(AbstractOS):
         shm_vpns = getattr(proc, "shm_vpns", set())
         lo = proc.region_base // page
         hi = proc.region_top // page
-        for vpn in range(lo, hi):
-            parent_pte = self.space.page_table.get(vpn)
-            if parent_pte is None:
-                continue  # demand areas (mmap window) may be sparse
-            child_vpn = vpn + delta_pages
-            if vpn in shm_vpns:
-                # MAP_SHARED memory: same frames, by design (§3.7)
-                self.space.map_page(child_vpn, parent_pte.frame,
-                                    parent_pte.perms, incref=True)
-                machine.charge(machine.costs.pte_bulk_share_ns, "fork_map")
-            elif vpn in eager or self.copy_strategy is CopyStrategy.FULL_COPY:
-                orig = (parent_pte.note.orig_perms
-                        if isinstance(parent_pte.note, ShareNote)
-                        else parent_pte.perms)
-                copy_page_for_child(self.space, child_vpn, parent_pte.frame,
-                                    orig, regions, map_new=True)
-            else:
-                setup_shared_page(self.space, vpn, child_vpn,
-                                  self.copy_strategy, regions)
+        with obs.span("copy_pages"):
+            for vpn in range(lo, hi):
+                parent_pte = self.space.page_table.get(vpn)
+                if parent_pte is None:
+                    continue  # demand areas (mmap window) may be sparse
+                child_vpn = vpn + delta_pages
+                if vpn in shm_vpns:
+                    # MAP_SHARED memory: same frames, by design (§3.7)
+                    self.space.map_page(child_vpn, parent_pte.frame,
+                                        parent_pte.perms, incref=True)
+                    machine.charge(machine.costs.pte_bulk_share_ns,
+                                   "fork_map")
+                elif vpn in eager or \
+                        self.copy_strategy is CopyStrategy.FULL_COPY:
+                    orig = (parent_pte.note.orig_perms
+                            if isinstance(parent_pte.note, ShareNote)
+                            else parent_pte.perms)
+                    copy_page_for_child(self.space, child_vpn,
+                                        parent_pte.frame,
+                                        orig, regions, map_new=True)
+                else:
+                    setup_shared_page(self.space, vpn, child_vpn,
+                                      self.copy_strategy, regions)
 
         # shared-memory bindings carry over to the child's region
         child.shm_vpns = {vpn + delta_pages for vpn in shm_vpns}
@@ -235,27 +248,30 @@ class UForkOS(AbstractOS):
 
         # 3. post-copy phase: new task, relocated registers, allocator
         task = child.add_task()
-        for name, value in proc.main_task().registers.items():
-            task.registers.set(name, value)
-        relocate_registers(machine, task.registers, regions)
+        with obs.span("registers"):
+            for name, value in proc.main_task().registers.items():
+                task.registers.set(name, value)
+            relocate_registers(machine, task.registers, regions)
 
-        heap_cap = (
-            self.kernel_root
-            .set_bounds(child.layout.base("heap"),
-                        child.layout.size("heap"))
-            .with_cursor(child.layout.base("heap"))
-            .and_perms(Perm.data_rw())
-        )
-        child.allocator = type(proc.allocator)(
-            machine, self.space, heap_cap,
-            max_blocks=proc.allocator.max_blocks,
-        )
-        child.allocator.attach_lazy()
+        with obs.span("allocator"):
+            heap_cap = (
+                self.kernel_root
+                .set_bounds(child.layout.base("heap"),
+                            child.layout.size("heap"))
+                .with_cursor(child.layout.base("heap"))
+                .and_perms(Perm.data_rw())
+            )
+            child.allocator = type(proc.allocator)(
+                machine, self.space, heap_cap,
+                max_blocks=proc.allocator.max_blocks,
+            )
+            child.allocator.attach_lazy()
 
         self._register_demand_heap(child)
         self.procs.add(child)
         self.sched.add(task)
         machine.counters.add("fork")
+        obs.count("core.ufork.forks")
         machine.trace("fork", parent=proc.pid, child=child.pid,
                       strategy=self.copy_strategy.value)
         return child

@@ -4,6 +4,10 @@ Usage::
 
     python -m repro.harness            # scaled sweep (fast)
     python -m repro.harness --full     # the paper's 100 KB-100 MB sweep
+    python -m repro.harness --only fig8
+    python -m repro.harness --obs-dir out/  # + <name>.obs.json sidecars
+    python -m repro.harness obs-report      # hierarchical fork profile
+    python -m repro.harness obs-report --json profile.json
 """
 
 from __future__ import annotations
@@ -39,12 +43,27 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Regenerate the μFork paper's tables and figures."
     )
+    parser.add_argument("command", nargs="?", default=None,
+                        choices=["obs-report"],
+                        help="optional subcommand: obs-report prints a "
+                             "hierarchical fork-cost profile")
     parser.add_argument("--full", action="store_true",
                         help="run the paper-scale 100 KB-100 MB sweep")
     parser.add_argument("--only", metavar="NAME", default=None,
                         help="run a single experiment "
                              "(table1, fig3..fig9, ablation)")
+    parser.add_argument("--obs-dir", metavar="DIR", default=None,
+                        help="also write a <name>.obs.json metrics "
+                             "sidecar per experiment into DIR")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="(obs-report) write the per-system "
+                             "observability exports to PATH")
     args = parser.parse_args(argv)
+
+    if args.command == "obs-report":
+        from repro.harness.obsreport import obs_report
+        obs_report(json_path=args.json)
+        return 0
 
     sizes = FULL_DB_SIZES if args.full else DEFAULT_DB_SIZES
     ablation_db = 100 * MiB if args.full else 10 * MiB
@@ -91,9 +110,27 @@ def main(argv=None) -> int:
     for index, name in enumerate(names):
         if index:
             print()
-        experiments[name]()
+        if args.obs_dir:
+            _run_with_sidecar(experiments[name], name, args.obs_dir)
+        else:
+            experiments[name]()
     print(f"\n[{time.time() - started:.1f}s host time]")
     return 0
+
+
+def _run_with_sidecar(experiment, name: str, obs_dir: str) -> None:
+    """Run one experiment under an observability session and write the
+    merged ``repro.obs/v1`` export next to its printed table."""
+    import os
+
+    from repro.obs import obs_session, write_export
+
+    os.makedirs(obs_dir, exist_ok=True)
+    with obs_session() as session:
+        experiment()
+    path = os.path.join(obs_dir, f"{name}.obs.json")
+    write_export(session.export(), path)
+    print(f"[obs sidecar: {path}]")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,126 @@
+"""The ``obs-report`` harness subcommand: profile fork end to end.
+
+Runs the Figure 8 hello-world fork workload on each of the three
+systems (μFork, the CheriBSD-like baseline, the Nephele-like baseline)
+with observability enabled, then prints each system's hierarchical
+span breakdown — the fork cost decomposed the way the paper's cost
+model decomposes it (fixed entry, page copies, relocation, registers,
+allocator) — plus the busiest time buckets and fork-related counters.
+
+The report asserts the subsystem's core invariant before printing:
+every simulated nanosecond that elapsed while observation was on is
+attributed somewhere in the span tree, so the tree's total equals the
+observed clock time exactly.
+
+Usage::
+
+    python -m repro.harness obs-report
+    python -m repro.harness obs-report --json fork-profile.json
+
+The ``--json`` document wraps one ``repro.obs/v1`` export per system
+(schema in docs/OBSERVABILITY.md)::
+
+    {"workload": "fig8_hello_fork",
+     "systems": {"ufork": {...}, "cheribsd": {...}, "nephele": {...}}}
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.apps.guest import GuestContext
+from repro.apps.hello import hello_world_image
+from repro.baselines import MonolithicOS, VMCloneOS
+from repro.core import CopyStrategy, IsolationConfig, UForkOS
+from repro.machine import Machine
+from repro.obs import format_span_tree, validate_export
+
+SYSTEMS: Tuple[Tuple[str, Any, Dict[str, Any]], ...] = (
+    ("ufork", UForkOS, dict(copy_strategy=CopyStrategy.COPA,
+                            isolation=IsolationConfig.fault())),
+    ("cheribsd", MonolithicOS, {}),
+    ("nephele", VMCloneOS, {}),
+)
+
+
+def run_observed_hello_fork(os_cls, samples: int = 10,
+                            **os_kwargs) -> Any:
+    """Boot one system, enable observability, run the Fig 8 workload.
+
+    Returns the machine's :class:`~repro.obs.Observability` after
+    ``samples`` fork/exit/wait cycles (plus one unobserved warm-up, so
+    the profile covers steady-state forks only).
+    """
+    os_ = os_cls(machine=Machine(), **os_kwargs)
+    parent = GuestContext(os_, os_.spawn(hello_world_image(), "hello"))
+    warm = parent.fork()
+    warm.exit(0)
+    parent.wait(warm.pid)
+
+    obs = os_.machine.obs.enable()
+    for _ in range(samples):
+        child = parent.fork()
+        child.exit(0)
+        parent.wait(child.pid)
+    obs.disable()
+    return obs
+
+
+def _check_invariant(name: str, obs: Any) -> None:
+    tree_total = obs.span_tree.root.total_ns
+    export = obs.export()
+    observed = export["observed_ns"]
+    if tree_total != observed:
+        raise AssertionError(
+            f"{name}: span tree total {tree_total} ns != observed "
+            f"clock time {observed} ns — time leaked past attribution")
+    validate_export(export)
+
+
+def _top_counters(obs: Any, prefix: str = "", limit: int = 8) -> List[str]:
+    items = [(name, value)
+             for name, value in obs.registry.counters().items()
+             if name.startswith(prefix)]
+    items.sort(key=lambda item: -item[1])
+    if not items:
+        return []
+    width = max(len(name) for name, _ in items[:limit])
+    return [f"  {name:<{width}}  {value:>14,}"
+            for name, value in items[:limit]]
+
+
+def obs_report(samples: int = 10,
+               json_path: Optional[str] = None) -> Dict[str, Dict]:
+    """Run the workload on every system, print the report, and return
+    (optionally writing) the per-system exports."""
+    exports: Dict[str, Dict] = {}
+    for index, (name, os_cls, kwargs) in enumerate(SYSTEMS):
+        obs = run_observed_hello_fork(os_cls, samples=samples, **kwargs)
+        _check_invariant(name, obs)
+        export = obs.export()
+        exports[name] = export
+
+        if index:
+            print()
+        observed_us = export["observed_ns"] / 1000.0
+        print(f"== {name}: {samples} hello-world forks, "
+              f"{observed_us:,.1f} us simulated ==")
+        print(format_span_tree(obs.span_tree.root))
+        time_lines = _top_counters(obs, prefix="time.")
+        if time_lines:
+            print("top time buckets (ns):")
+            print("\n".join(time_lines))
+        count_lines = [line for prefix in ("core.", "baselines.", "hw.")
+                       for line in _top_counters(obs, prefix=prefix, limit=4)]
+        if count_lines:
+            print("event counters:")
+            print("\n".join(count_lines))
+
+    if json_path is not None:
+        document = {"workload": "fig8_hello_fork", "systems": exports}
+        import json as _json
+        with open(json_path, "w", encoding="utf-8") as handle:
+            handle.write(_json.dumps(document, indent=2, sort_keys=True)
+                         + "\n")
+        print(f"\n[wrote {json_path}]")
+    return exports

@@ -200,9 +200,15 @@ class AddressSpace:
         raise ProtectionError(vaddr, _ACCESS_NAME[kind])
 
     def _dispatch_fault(self, vaddr: int, kind: AccessKind) -> bool:
+        """Charge the fault and hand it to the registered handler.
+
+        Observable as ``hw.paging.fault.<kind>`` counters — the
+        ``cap_load`` kind counts CoPA's fault-on-capability-load traps.
+        """
         machine = self.machine
         machine.clock.advance(machine.costs.page_fault_ns, "page_fault")
         machine.counters.add(f"fault_{_ACCESS_NAME[kind]}")
+        machine.obs.count(f"hw.paging.fault.{_ACCESS_NAME[kind]}")
         machine.trace("page_fault", vaddr=vaddr, kind=_ACCESS_NAME[kind],
                       space=self.name)
         if self.fault_handler is None:

@@ -85,14 +85,22 @@ class Frame:
 
 
 class PhysicalMemory:
-    """Frame allocator with refcounting and allocation accounting."""
+    """Frame allocator with refcounting and allocation accounting.
+
+    Observability: allocation/copy/free events are counted under
+    ``hw.phys.*`` and the live frame count is kept in the
+    ``hw.phys.allocated_frames`` gauge (see docs/OBSERVABILITY.md).
+    """
 
     def __init__(self, config: MachineConfig, costs: CostModel,
-                 clock: SimClock, counters: EventCounters) -> None:
+                 clock: SimClock, counters: EventCounters,
+                 obs=None) -> None:
+        from repro.obs import NULL_OBS
         self._config = config
         self._costs = costs
         self._clock = clock
         self._counters = counters
+        self._obs = obs if obs is not None else NULL_OBS
         self._frames: Dict[int, Frame] = {}
         self._free: List[int] = []
         self._next_frame = 1
@@ -115,6 +123,10 @@ class PhysicalMemory:
         if zero and charge:
             self._clock.advance(self._costs.page_zero_ns, "page_zero")
         self._counters.add("frames_allocated")
+        if self._obs.enabled:
+            self._obs.count("hw.phys.frames_allocated")
+            self._obs.gauge_set("hw.phys.allocated_frames",
+                                len(self._frames))
         return number
 
     def frame(self, number: int) -> Frame:
@@ -133,6 +145,10 @@ class PhysicalMemory:
             del self._frames[number]
             self._free.append(number)
             self._counters.add("frames_freed")
+            if self._obs.enabled:
+                self._obs.count("hw.phys.frames_freed")
+                self._obs.gauge_set("hw.phys.allocated_frames",
+                                    len(self._frames))
         elif frame.refcount < 0:  # pragma: no cover - invariant guard
             raise AssertionError(f"frame {number} refcount underflow")
 
@@ -151,6 +167,7 @@ class PhysicalMemory:
                 self._costs.page_copy_ns(self._config.page_size), "page_copy"
             )
         self._counters.add("frames_copied")
+        self._obs.count("hw.phys.frames_copied")
         return dst
 
     # -- accounting -----------------------------------------------------------

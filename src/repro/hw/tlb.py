@@ -19,7 +19,11 @@ class TLB:
         self.flush_count = 0
 
     def flush(self) -> None:
-        """Full flush — paid by the monolithic OS on address-space switch."""
+        """Full flush — paid by the monolithic OS on address-space switch.
+
+        Observable as the ``hw.tlb.flush`` counter.
+        """
         self.flush_count += 1
         self._machine.clock.advance(self._machine.costs.tlb_flush_ns, "tlb_flush")
         self._machine.counters.add("tlb_flush")
+        self._machine.obs.count("hw.tlb.flush")

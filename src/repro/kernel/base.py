@@ -100,18 +100,24 @@ class AbstractOS(abc.ABC):
         Subclasses may override to enforce their entry mechanism (the
         SASOS checks the sealed gate); the shared implementation only
         dispatches.
+
+        Observability: each invocation runs inside a ``syscall.<name>``
+        span, so per-syscall latency lands in the
+        ``span.syscall.<name>`` histogram and every cost charged by the
+        handler (fork phases included) nests under it in the span tree.
         """
         handler = getattr(self, f"sys_{name}", None)
         if handler is None:
             raise InvalidArgument(f"unknown syscall {name!r}")
         if not proc.alive:
             raise NoSuchProcess(f"process {proc.pid} has exited")
-        # kernel-boundary crossing: deliver pending signals first
-        from repro.kernel import signals as _signals
-        _signals.deliver_pending(self, proc)
-        if not proc.alive:
-            raise NoSuchProcess(f"process {proc.pid} was terminated")
-        return handler(proc, *args)
+        with self.machine.obs.span(f"syscall.{name}"):
+            # kernel-boundary crossing: deliver pending signals first
+            from repro.kernel import signals as _signals
+            _signals.deliver_pending(self, proc)
+            if not proc.alive:
+                raise NoSuchProcess(f"process {proc.pid} was terminated")
+            return handler(proc, *args)
 
     def _enter(self, proc: Process, name: str, nargs: int,
                buffers: Sequence[int] = ()) -> None:

@@ -47,6 +47,7 @@ class Pipe:
         self.machine.charge(
             self.machine.costs.io_copy_ns_per_byte * len(chunk), "pipe_io"
         )
+        self.machine.obs.count("kernel.ipc.pipe_bytes_written", len(chunk))
         return len(chunk)
 
     def read(self, size: int) -> bytes:
@@ -61,6 +62,7 @@ class Pipe:
         self.machine.charge(
             self.machine.costs.io_copy_ns_per_byte * len(chunk), "pipe_io"
         )
+        self.machine.obs.count("kernel.ipc.pipe_bytes_read", len(chunk))
         return chunk
 
     @property
@@ -119,6 +121,7 @@ class MessageQueue:
         self.machine.charge(
             self.machine.costs.io_copy_ns_per_byte * len(data), "mq_io"
         )
+        self.machine.obs.count("kernel.ipc.mq_bytes_sent", len(data))
         self._queue.append((priority, bytes(data)))
         self._queue = deque(
             sorted(self._queue, key=lambda item: -item[0])
@@ -131,6 +134,7 @@ class MessageQueue:
         self.machine.charge(
             self.machine.costs.io_copy_ns_per_byte * len(data), "mq_io"
         )
+        self.machine.obs.count("kernel.ipc.mq_bytes_received", len(data))
         return data
 
     def __len__(self) -> int:

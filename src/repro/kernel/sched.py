@@ -35,14 +35,23 @@ class Scheduler:
     def add(self, task: Task) -> None:
         if task.state is TaskState.RUNNABLE and task not in self._runnable:
             self._runnable.append(task)
+            self._observe_depth()
 
     def remove(self, task: Task) -> None:
         try:
             self._runnable.remove(task)
+            self._observe_depth()
         except ValueError:
             pass
         if self.current is task:
             self.current = None
+
+    def _observe_depth(self) -> None:
+        """Keep the ``kernel.sched.runqueue_depth`` gauge current."""
+        obs = self.machine.obs
+        if obs.enabled:
+            obs.gauge_set("kernel.sched.runqueue_depth",
+                          len(self._runnable))
 
     def block(self, task: Task) -> None:
         task.state = TaskState.BLOCKED
@@ -66,6 +75,7 @@ class Scheduler:
             self.machine.charge(costs.context_switch_mas_ns, "ctx_switch")
             self.machine.tlb.flush()
         self.machine.counters.add("context_switch")
+        self.machine.obs.count("kernel.sched.context_switch")
         self.switches += 1
         if self.current is not None and \
                 self.current.state is TaskState.RUNNABLE:

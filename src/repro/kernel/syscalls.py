@@ -98,6 +98,12 @@ class SyscallLayer:
         self.invocations += 1
         self.machine.counters.add("syscall")
         self.machine.counters.add(f"syscall_{name}")
+        obs = self.machine.obs
+        if obs.enabled:
+            obs.count("kernel.syscall.entries")
+            if self.isolation.tocttou and buffer_bytes:
+                obs.count("kernel.syscall.tocttou_copies",
+                          len(buffer_bytes))
         self.machine.trace("syscall", name=name)
 
     # -- argument validation helpers -------------------------------------------

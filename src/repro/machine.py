@@ -17,6 +17,7 @@ from repro.clock import EventCounters, SimClock
 from repro.hw.cpu import Core
 from repro.hw.phys import PhysicalMemory
 from repro.hw.tlb import TLB
+from repro.obs import Observability, session_adopt
 from repro.params import DEFAULT_COSTS, DEFAULT_MACHINE, CostModel, MachineConfig
 
 
@@ -28,9 +29,12 @@ class Machine:
         self.config = config or DEFAULT_MACHINE
         self.costs = costs or DEFAULT_COSTS
         self.clock = SimClock()
+        #: unified observability (disabled by default; see :mod:`repro.obs`)
+        self.obs = Observability(self.clock)
+        session_adopt(self.obs)
         self.counters = EventCounters()
         self.phys = PhysicalMemory(self.config, self.costs, self.clock,
-                                   self.counters)
+                                   self.counters, obs=self.obs)
         self.codec = CapabilityCodec()
         self.tlb = TLB(self)
         self.cores: List[Core] = [
@@ -46,9 +50,16 @@ class Machine:
         self.clock.advance(ns, bucket)
 
     def trace(self, event: str, **fields) -> None:
-        """Record a structured trace event (no-op without a tracer)."""
+        """Record a structured trace event (no-op without a tracer).
+
+        With observability enabled, each event is also counted under
+        ``trace.<event>`` so trace activity shows up in exports without
+        an attached :class:`~repro.trace.TraceLog`.
+        """
         if self.tracer is not None:
             self.tracer.record(event, **fields)
+        if self.obs.enabled:
+            self.obs.count(f"trace.{event}")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,0 +1,139 @@
+"""JSON export and merging of observability data.
+
+The export schema (``repro.obs/v1``) is documented normatively in
+``docs/OBSERVABILITY.md``; this module provides serialization helpers
+and the merge used for per-figure sidecars, where one experiment boots
+several hermetic machines whose metrics should be reported together.
+
+Merge semantics: counters and histogram contents sum, gauges keep their
+maximum (a merged gauge answers "how deep did it get?"), span trees
+merge node-by-node by path, and ``clock_ns``/``observed_ns`` sum —
+preserving the invariant that the merged span-tree total equals the
+merged observed time.
+
+Usage::
+
+    merged = merge_exports([m1.obs.export(), m2.obs.export()])
+    write_export(merged, "fig8.obs.json")
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.obs.facade import SCHEMA
+
+
+def _merge_histogram(into: Dict, other: Dict) -> None:
+    into["count"] += other["count"]
+    into["sum"] += other["sum"]
+    for side in ("min", "max"):
+        values = [v for v in (into[side], other[side]) if v is not None]
+        if values:
+            into[side] = min(values) if side == "min" else max(values)
+    buckets = {tuple([le]): n for le, n in into["buckets"]}
+    for le, n in other["buckets"]:
+        key = tuple([le])
+        buckets[key] = buckets.get(key, 0) + n
+    into["buckets"] = sorted(
+        ([le, n] for (le,), n in buckets.items()),
+        key=lambda item: (item[0] is None, item[0]),
+    )
+
+
+def _merge_span(into: Dict, other: Dict) -> None:
+    into["count"] += other["count"]
+    into["self_ns"] += other["self_ns"]
+    into["total_ns"] += other["total_ns"]
+    children = {child["name"]: child for child in into["children"]}
+    for child in other["children"]:
+        mine = children.get(child["name"])
+        if mine is None:
+            copied = json.loads(json.dumps(child))
+            children[child["name"]] = copied
+        else:
+            _merge_span(mine, child)
+    into["children"] = [children[name] for name in sorted(children)]
+
+
+def merge_exports(exports: Sequence[Dict]) -> Dict:
+    """Merge per-machine exports into one schema-shaped document."""
+    merged: Dict = {
+        "schema": SCHEMA,
+        "clock_ns": 0,
+        "observed_ns": 0,
+        "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+        "spans": {"name": "", "count": 0, "self_ns": 0, "total_ns": 0,
+                  "children": []},
+    }
+    for export in exports:
+        if export.get("schema") != SCHEMA:
+            raise ValueError(f"cannot merge export with schema "
+                             f"{export.get('schema')!r}")
+        merged["clock_ns"] += export["clock_ns"]
+        merged["observed_ns"] += export["observed_ns"]
+        metrics = export["metrics"]
+        counters = merged["metrics"]["counters"]
+        for name, value in metrics["counters"].items():
+            counters[name] = counters.get(name, 0) + value
+        gauges = merged["metrics"]["gauges"]
+        for name, value in metrics["gauges"].items():
+            gauges[name] = max(gauges.get(name, value), value)
+        histograms = merged["metrics"]["histograms"]
+        for name, hist in metrics["histograms"].items():
+            if name not in histograms:
+                histograms[name] = json.loads(json.dumps(hist))
+            else:
+                _merge_histogram(histograms[name], hist)
+        _merge_span(merged["spans"], export["spans"])
+    for section in ("counters", "gauges", "histograms"):
+        merged["metrics"][section] = dict(
+            sorted(merged["metrics"][section].items()))
+    return merged
+
+
+def to_json(export: Dict, indent: int = 2) -> str:
+    """Serialize an export dict deterministically."""
+    return json.dumps(export, indent=indent, sort_keys=True) + "\n"
+
+
+def write_export(export: Dict, path: str) -> None:
+    """Write an export document to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_json(export))
+
+
+def validate_export(export: Dict) -> None:
+    """Raise ``ValueError`` unless ``export`` matches the v1 schema."""
+    if export.get("schema") != SCHEMA:
+        raise ValueError(f"bad schema marker: {export.get('schema')!r}")
+    for key in ("clock_ns", "observed_ns"):
+        if not isinstance(export.get(key), int):
+            raise ValueError(f"{key} must be an integer")
+    metrics = export.get("metrics")
+    if not isinstance(metrics, dict):
+        raise ValueError("missing metrics section")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section), dict):
+            raise ValueError(f"missing metrics.{section}")
+    for name, hist in metrics["histograms"].items():
+        for key in ("count", "sum", "min", "max", "buckets"):
+            if key not in hist:
+                raise ValueError(f"histogram {name} missing {key}")
+    _validate_span(export.get("spans"))
+
+
+def _validate_span(node: Dict) -> None:
+    if not isinstance(node, dict):
+        raise ValueError("span node must be a dict")
+    for key in ("name", "count", "self_ns", "total_ns", "children"):
+        if key not in node:
+            raise ValueError(f"span node missing {key}")
+    child_total = sum(child["total_ns"] for child in node["children"])
+    if node["total_ns"] != node["self_ns"] + child_total:
+        raise ValueError(
+            f"span {node['name']!r}: total {node['total_ns']} != "
+            f"self {node['self_ns']} + children {child_total}")
+    for child in node["children"]:
+        _validate_span(child)
