@@ -1,0 +1,72 @@
+"""repro.chaos — deterministic fault injection with survival paths.
+
+μFork's claim is not "fork is fast" but "fork stays *correct* under
+adversarial memory behaviour" — capability faults, CoW/CoA/CoPA breaks,
+relocation mid-fork.  This package provokes exactly that, on a
+reproducible schedule: a :class:`ChaosEngine` fires named injection
+points across ``hw``, ``kernel`` and ``core`` from a single seed, and
+the survival side (bounded syscall retry, CoPA→CoA→eager-copy
+degradation, transactional fork rollback) absorbs the damage.
+
+Every injection and recovery is recorded as a ``chaos.*`` counter in
+``repro.obs``, and the engine's own export (``repro.chaos/v1``) lists
+the exact injection schedule — any failure replays bit-identically
+from its seed.  See docs/CHAOS.md for the contract, and
+``python -m repro.harness chaos`` for the command-line harness.
+
+The workload runner lives in :mod:`repro.chaos.runner` and is imported
+lazily (it pulls in the whole OS stack); this package root stays
+import-light so the kernel layers can depend on it.
+"""
+
+from repro.chaos.engine import (
+    DEGRADE_AFTER,
+    NULL_CHAOS,
+    SCHEMA,
+    ChaosEngine,
+    FaultMix,
+    NullChaos,
+)
+from repro.chaos.faults import (
+    INJECTION_POINTS,
+    InjectedAllocFailure,
+    InjectedFault,
+    InjectedForkFailure,
+    InjectedInterrupt,
+    InjectedSyscallNoMem,
+    InjectedWouldBlock,
+    InjectionPoint,
+    check_point_name,
+    register_point,
+)
+from repro.chaos.recovery import (
+    RETRY_BACKOFF_BASE_NS,
+    RETRY_MAX_ATTEMPTS,
+    Transaction,
+    is_retriable_injection,
+    retry_syscall,
+)
+
+__all__ = [
+    "ChaosEngine",
+    "DEGRADE_AFTER",
+    "FaultMix",
+    "INJECTION_POINTS",
+    "InjectedAllocFailure",
+    "InjectedFault",
+    "InjectedForkFailure",
+    "InjectedInterrupt",
+    "InjectedSyscallNoMem",
+    "InjectedWouldBlock",
+    "InjectionPoint",
+    "NULL_CHAOS",
+    "NullChaos",
+    "RETRY_BACKOFF_BASE_NS",
+    "RETRY_MAX_ATTEMPTS",
+    "SCHEMA",
+    "Transaction",
+    "check_point_name",
+    "is_retriable_injection",
+    "register_point",
+    "retry_syscall",
+]

@@ -138,6 +138,15 @@ def handle_fork_fault(space: AddressSpace, vaddr: int,
     # child side: writes always break; reads/exec/cap-loads depend on strategy
     if note.strategy is CopyStrategy.COPA and kind is AccessKind.READ:
         return False  # CoPA allows plain reads; this fault is something else
+    if kind is AccessKind.CAP_LOAD and machine.chaos.enabled and \
+            machine.chaos.should_fire("core.strategies.cap_fault_storm"):
+        # storm: the capability-load fault spuriously re-fires a few
+        # times before the break sticks; each repeat costs a full fault.
+        # Enough storms push UForkOS down the CoPA→CoA→eager ladder.
+        for _ in range(3):
+            machine.charge(machine.costs.page_fault_ns, "page_fault")
+            machine.obs.count("core.strategies.cap_fault_storm_repeats")
+        machine.chaos.note_recovery("core.strategies.cap_fault_storm")
     _make_private(space, vpn, pte, relocate=True, note=note)
     machine.counters.add(f"fork_child_break_{kind.name.lower()}")
     machine.obs.count(f"core.strategies.{note.strategy.value}"

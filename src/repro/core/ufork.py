@@ -10,8 +10,10 @@ syscall gates for isolation (§4.3, §4.4).
 
 from __future__ import annotations
 
-from typing import Any, Optional, Set
+from typing import Any, List, Optional, Set
 
+from repro.chaos.faults import InjectedForkFailure
+from repro.chaos.recovery import Transaction
 from repro.cheri.capability import Capability, Perm
 from repro.core.isolation import (
     IsolationConfig,
@@ -173,7 +175,69 @@ class UForkOS(AbstractOS):
         ``allocator`` spans, so one fork's simulated cost decomposes
         hierarchically under its ``syscall.fork`` span (the paper's
         cost-model tree; see docs/OBSERVABILITY.md for a worked
-        example)."""
+        example).
+
+        Fork is **transactional**: every mutation registers an undo, and
+        a fork that dies mid-flight (an injected ``core.ufork.abort.*``
+        fault, frame exhaustion, or any other error) is rolled back —
+        no orphaned frames, VA reservations, PIDs, or fd-table entries
+        survive (docs/CHAOS.md, tests/test_fork_rollback.py).  Injected
+        failures re-raise as the retriable
+        :class:`~repro.chaos.InjectedForkFailure` so the syscall layer's
+        bounded retry can re-attempt the whole fork."""
+        machine = self.machine
+        strategy = self._effective_strategy(machine.chaos)
+        tx = Transaction()
+        try:
+            child = self._fork_phases(proc, strategy, tx)
+        except Exception as exc:
+            tx.rollback()
+            machine.counters.add("fork_rollbacks")
+            machine.obs.count("core.ufork.fork_rollbacks")
+            machine.trace("fork_rollback", parent=proc.pid,
+                          reason=type(exc).__name__)
+            point = getattr(exc, "point", None)
+            if point is not None:
+                machine.chaos.note_recovery(point)
+            if getattr(exc, "injected", False) and \
+                    not isinstance(exc, InjectedForkFailure):
+                raise InjectedForkFailure(
+                    f"fork of pid {proc.pid} aborted by injected fault "
+                    f"({exc})") from exc
+            raise
+        tx.commit()
+        return child
+
+    def _effective_strategy(self, chaos: Any) -> CopyStrategy:
+        """Graceful degradation (chaos survival): under an injected
+        capability-load fault storm the lazy strategies fall down the
+        ladder CoPA → CoA → eager copy, trading fork-time cost for
+        immunity to further lazy-path faults."""
+        configured = self.copy_strategy
+        tiers = chaos.degrade_tiers()
+        if tiers <= 0:
+            return configured
+        ladder = (CopyStrategy.COPA, CopyStrategy.COA,
+                  CopyStrategy.FULL_COPY)
+        index = ladder.index(configured)
+        degraded = ladder[min(index + tiers, len(ladder) - 1)]
+        if degraded is not configured:
+            self.machine.obs.count("core.ufork.degraded_forks")
+            self.machine.trace("fork_degraded", configured=configured.value,
+                               used=degraded.value)
+        return degraded
+
+    def _abort_point(self, point: str, proc: Process) -> None:
+        """Fire one chaos fork-abort boundary (phase-transition check)."""
+        chaos = self.machine.chaos
+        if chaos.enabled and chaos.should_fire(point):
+            failure = InjectedForkFailure(
+                f"injected fork abort at {point} (parent pid {proc.pid})")
+            failure.point = point
+            raise failure
+
+    def _fork_phases(self, proc: Process, strategy: CopyStrategy,
+                     tx: Transaction) -> Process:
         machine = self.machine
         obs = machine.obs
         page = machine.config.page_size
@@ -182,20 +246,25 @@ class UForkOS(AbstractOS):
 
         # A process forking while some of its own pages are still shared
         # with *its* parent first stabilizes its image, keeping every
-        # relocation a single-hop rebase.
+        # relocation a single-hop rebase.  (Resolving only makes shared
+        # pages private — an always-valid state — so no undo is needed.)
         with obs.span("resolve_pending"):
             resolve_all_pending(self.space, proc.region_base, proc.region_top)
 
         # 1. reserve the child's contiguous area and mirror the layout
         child_base = self.vspace.reserve(proc.region_size)
+        tx.on_abort(lambda: self.vspace.release(child_base))
         child = Process(self.pids.allocate(), proc.name, parent=proc)
+        tx.on_abort(lambda: proc.children.remove(child))
         child.layout = proc.layout.rebased(child_base)
         child.region_base = child.layout.region_base
         child.region_top = child.layout.region_top
         child.fdtable = proc.fdtable.fork_copy(machine)
+        tx.on_abort(child.fdtable.close_all)
         from repro.kernel import signals as _signals
         child.signal_state = _signals.signal_state(proc).fork_copy()
         child.syscall_gate = self.syscall_gate
+        self._abort_point("core.ufork.abort.reserve", proc)
 
         regions = RegionPair(
             parent_base=proc.region_base, parent_top=proc.region_top,
@@ -204,13 +273,18 @@ class UForkOS(AbstractOS):
         delta_pages = (child.region_base - proc.region_base) // page
 
         # 2. duplicate parent state page by page
-        if self.eager_copy or self.copy_strategy is CopyStrategy.FULL_COPY:
+        if self.eager_copy or strategy is CopyStrategy.FULL_COPY:
             eager = self._eager_vpns(proc)
         else:
             eager = set()
         shm_vpns = getattr(proc, "shm_vpns", set())
         lo = proc.region_base // page
         hi = proc.region_top // page
+        # undo: unmap whatever landed in the child's region and lift the
+        # write protection this fork placed on parent pages (registered
+        # up front so an abort *inside* the loop still cleans up)
+        newly_shared: List[Any] = []
+        tx.on_abort(lambda: self._undo_fork_pages(child, newly_shared))
         with obs.span("copy_pages"):
             for vpn in range(lo, hi):
                 parent_pte = self.space.page_table.get(vpn)
@@ -224,7 +298,7 @@ class UForkOS(AbstractOS):
                     machine.charge(machine.costs.pte_bulk_share_ns,
                                    "fork_map")
                 elif vpn in eager or \
-                        self.copy_strategy is CopyStrategy.FULL_COPY:
+                        strategy is CopyStrategy.FULL_COPY:
                     orig = (parent_pte.note.orig_perms
                             if isinstance(parent_pte.note, ShareNote)
                             else parent_pte.perms)
@@ -232,8 +306,12 @@ class UForkOS(AbstractOS):
                                         parent_pte.frame,
                                         orig, regions, map_new=True)
                 else:
+                    was_shared = isinstance(parent_pte.note, ShareNote)
                     setup_shared_page(self.space, vpn, child_vpn,
-                                      self.copy_strategy, regions)
+                                      strategy, regions)
+                    if not was_shared:
+                        newly_shared.append(parent_pte)
+        self._abort_point("core.ufork.abort.copy_pages", proc)
 
         # shared-memory bindings carry over to the child's region
         child.shm_vpns = {vpn + delta_pages for vpn in shm_vpns}
@@ -252,6 +330,7 @@ class UForkOS(AbstractOS):
             for name, value in proc.main_task().registers.items():
                 task.registers.set(name, value)
             relocate_registers(machine, task.registers, regions)
+        self._abort_point("core.ufork.abort.registers", proc)
 
         with obs.span("allocator"):
             heap_cap = (
@@ -266,6 +345,7 @@ class UForkOS(AbstractOS):
                 max_blocks=proc.allocator.max_blocks,
             )
             child.allocator.attach_lazy()
+        self._abort_point("core.ufork.abort.allocator", proc)
 
         self._register_demand_heap(child)
         self.procs.add(child)
@@ -273,8 +353,23 @@ class UForkOS(AbstractOS):
         machine.counters.add("fork")
         obs.count("core.ufork.forks")
         machine.trace("fork", parent=proc.pid, child=child.pid,
-                      strategy=self.copy_strategy.value)
+                      strategy=strategy.value)
         return child
+
+    def _undo_fork_pages(self, child: Process, newly_shared: List[Any]) -> None:
+        """Rollback of the page-duplication phase: unmap every page the
+        aborted fork mapped into the child's region (dropping its frame
+        references) and restore original permissions on parent pages it
+        write-protected."""
+        page = self.machine.config.page_size
+        for vpn in range(child.region_base // page,
+                         child.region_top // page):
+            if self.space.page_table.get(vpn) is not None:
+                self.space.unmap_page(vpn)
+        for pte in newly_shared:
+            if isinstance(pte.note, ShareNote):
+                pte.perms = pte.note.orig_perms
+                pte.note = None
 
     def _eager_vpns(self, proc: Process) -> Set[int]:
         """Pages copied proactively at fork: GOT + allocator metadata

@@ -162,5 +162,11 @@ class WouldBlock(KernelError):
     errno_name = "EAGAIN"
 
 
+class Interrupted(KernelError):
+    """A syscall was interrupted before doing any work (EINTR)."""
+
+    errno_name = "EINTR"
+
+
 class NotSupported(KernelError):
     errno_name = "ENOSYS"

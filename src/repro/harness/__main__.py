@@ -8,6 +8,8 @@ Usage::
     python -m repro.harness --obs-dir out/  # + <name>.obs.json sidecars
     python -m repro.harness obs-report      # hierarchical fork profile
     python -m repro.harness obs-report --json profile.json
+    python -m repro.harness chaos --seed 7 --iterations 200
+    python -m repro.harness chaos --fault-mix "default=0.01,core.ufork.abort.*=0.2"
 """
 
 from __future__ import annotations
@@ -44,9 +46,10 @@ def main(argv=None) -> int:
         description="Regenerate the μFork paper's tables and figures."
     )
     parser.add_argument("command", nargs="?", default=None,
-                        choices=["obs-report"],
+                        choices=["obs-report", "chaos"],
                         help="optional subcommand: obs-report prints a "
-                             "hierarchical fork-cost profile")
+                             "hierarchical fork-cost profile; chaos runs "
+                             "the fault-injection workload (docs/CHAOS.md)")
     parser.add_argument("--full", action="store_true",
                         help="run the paper-scale 100 KB-100 MB sweep")
     parser.add_argument("--only", metavar="NAME", default=None,
@@ -58,11 +61,29 @@ def main(argv=None) -> int:
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="(obs-report) write the per-system "
                              "observability exports to PATH")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="(chaos) the fault schedule + workload seed")
+    parser.add_argument("--iterations", type=int, default=200,
+                        help="(chaos) number of workload operations")
+    parser.add_argument("--fault-mix", metavar="SPEC", default=None,
+                        help="(chaos) pattern=rate,... injection rates "
+                             "(see docs/CHAOS.md)")
     args = parser.parse_args(argv)
 
     if args.command == "obs-report":
         from repro.harness.obsreport import obs_report
         obs_report(json_path=args.json)
+        return 0
+
+    if args.command == "chaos":
+        from repro.chaos.runner import DEFAULT_MIX, format_summary, run_chaos
+        summary = run_chaos(seed=args.seed, iterations=args.iterations,
+                            mix=args.fault_mix or DEFAULT_MIX,
+                            obs_dir=args.obs_dir)
+        print(format_summary(summary))
+        if args.obs_dir:
+            print(f"[sidecars: {args.obs_dir}/chaos-{args.seed}"
+                  f".obs.json + .chaos.json]")
         return 0
 
     sizes = FULL_DB_SIZES if args.full else DEFAULT_DB_SIZES

@@ -95,12 +95,15 @@ class PhysicalMemory:
     def __init__(self, config: MachineConfig, costs: CostModel,
                  clock: SimClock, counters: EventCounters,
                  obs=None) -> None:
+        from repro.chaos.engine import NULL_CHAOS
         from repro.obs import NULL_OBS
         self._config = config
         self._costs = costs
         self._clock = clock
         self._counters = counters
         self._obs = obs if obs is not None else NULL_OBS
+        #: fault injection hook (ChaosEngine.attach replaces the null)
+        self.chaos = NULL_CHAOS
         self._frames: Dict[int, Frame] = {}
         self._free: List[int] = []
         self._next_frame = 1
@@ -112,6 +115,9 @@ class PhysicalMemory:
         """Allocate one frame; returns its frame number."""
         if len(self._frames) >= self._capacity_frames:
             raise OutOfMemory("physical memory exhausted")
+        if self.chaos.enabled and self.chaos.should_fire("hw.phys.alloc_fail"):
+            from repro.chaos.faults import InjectedAllocFailure
+            raise InjectedAllocFailure("injected frame-allocation failure")
         if self._free:
             number = self._free.pop()
         else:
@@ -166,9 +172,30 @@ class PhysicalMemory:
             self._clock.advance(
                 self._costs.page_copy_ns(self._config.page_size), "page_copy"
             )
+        if preserve_tags and self.chaos.enabled and \
+                self.chaos.should_fire("hw.phys.tag_clear"):
+            self._recover_tag_clear(src, dst, charge)
         self._counters.add("frames_copied")
         self._obs.count("hw.phys.frames_copied")
         return dst
+
+    def _recover_tag_clear(self, src: int, dst: int, charge: bool) -> None:
+        """Injected spurious tag loss on a tag-preserving copy: the copy
+        engine dropped the validity bits.  The kernel's verify-after-copy
+        compares tag vectors and redoes the copy when they differ (a
+        frame with no tags loses nothing, so nothing to recover)."""
+        dst_frame = self.frame(dst)
+        for index in range(len(dst_frame.tags)):
+            dst_frame.tags[index] = 0
+        src_frame = self.frame(src)
+        if bytes(dst_frame.tags) != bytes(src_frame.tags):
+            dst_frame.copy_from(src_frame, preserve_tags=True)
+            if charge:
+                self._clock.advance(
+                    self._costs.page_copy_ns(self._config.page_size),
+                    "page_copy"
+                )
+            self.chaos.note_recovery("hw.phys.tag_clear")
 
     # -- accounting -----------------------------------------------------------
 

@@ -21,8 +21,19 @@ class TLB:
     def flush(self) -> None:
         """Full flush — paid by the monolithic OS on address-space switch.
 
-        Observable as the ``hw.tlb.flush`` counter.
+        Observable as the ``hw.tlb.flush`` counter.  Under chaos the
+        ``hw.tlb.shootdown_loss`` point models a lost shootdown IPI:
+        the ack timeout detects it and the flush is re-issued (paid
+        again), so correctness never depends on the first IPI landing.
         """
+        self._do_flush()
+        machine = self._machine
+        if machine.chaos.enabled and \
+                machine.chaos.should_fire("hw.tlb.shootdown_loss"):
+            self._do_flush()
+            machine.chaos.note_recovery("hw.tlb.shootdown_loss")
+
+    def _do_flush(self) -> None:
         self.flush_count += 1
         self._machine.clock.advance(self._machine.costs.tlb_flush_ns, "tlb_flush")
         self._machine.counters.add("tlb_flush")

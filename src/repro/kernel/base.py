@@ -13,6 +13,7 @@ from __future__ import annotations
 import abc
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.chaos.recovery import retry_syscall
 from repro.cheri.capability import Capability
 from repro.errors import (
     InvalidArgument,
@@ -105,6 +106,12 @@ class AbstractOS(abc.ABC):
         span, so per-syscall latency lands in the
         ``span.syscall.<name>`` histogram and every cost charged by the
         handler (fork phases included) nests under it in the span tree.
+
+        Chaos: with an engine attached, the ``kernel.sched.preempt``
+        point may force a context switch at this kernel boundary, and
+        the handler runs under the bounded retry loop — injected entry
+        faults (EINTR/ENOMEM/EAGAIN) and rolled-back fork failures are
+        retried with backoff instead of surfacing to the caller.
         """
         handler = getattr(self, f"sys_{name}", None)
         if handler is None:
@@ -117,6 +124,12 @@ class AbstractOS(abc.ABC):
             _signals.deliver_pending(self, proc)
             if not proc.alive:
                 raise NoSuchProcess(f"process {proc.pid} was terminated")
+            chaos = self.machine.chaos
+            if chaos.enabled:
+                if chaos.should_fire("kernel.sched.preempt"):
+                    self.sched.yield_current()
+                return retry_syscall(self.machine,
+                                     lambda: handler(proc, *args))
             return handler(proc, *args)
 
     def _enter(self, proc: Process, name: str, nargs: int,
@@ -378,7 +391,9 @@ class AbstractOS(abc.ABC):
             return
         proc.exit_status = status
         proc.fdtable.close_all()
+        from repro.kernel.task import TaskState
         for task in proc.tasks:
+            task.state = TaskState.EXITED
             self.sched.remove(task)
         self._teardown_memory(proc)
         if proc.parent is not None and proc.parent.alive:

@@ -43,6 +43,12 @@ class Pipe:
         if room <= 0:
             raise WouldBlock("pipe full")
         chunk = data[:room]
+        chaos = self.machine.chaos
+        if chaos.enabled and len(chunk) > 1 and \
+                chaos.should_fire("kernel.ipc.short_write"):
+            # short write: only half the bytes land; POSIX writers loop
+            # on the return count, so correctness is the caller's loop
+            chunk = chunk[:len(chunk) // 2]
         self._buffer.extend(chunk)
         self.machine.charge(
             self.machine.costs.io_copy_ns_per_byte * len(chunk), "pipe_io"

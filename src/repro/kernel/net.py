@@ -57,6 +57,11 @@ class Endpoint:
     def send(self, data: bytes) -> int:
         if not self._outbound.open:
             raise BrokenPipe("connection closed")
+        machine = self.conn.machine
+        if machine.chaos.enabled and len(data) > 1 and \
+                machine.chaos.should_fire("kernel.net.short_send"):
+            # short send: callers loop on the return count (POSIX)
+            data = data[:len(data) // 2]
         self._outbound.buffer.extend(data)
         self.conn._charge(len(data))
         return len(data)

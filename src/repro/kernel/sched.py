@@ -38,6 +38,13 @@ class Scheduler:
             self._observe_depth()
 
     def remove(self, task: Task) -> None:
+        """Drop a task from the run queue.
+
+        Tolerates tasks that were never enqueued (or already removed):
+        chaos-driven mid-fork teardown and process exit both remove
+        blindly, so removal must be an idempotent no-op rather than a
+        raise.
+        """
         try:
             self._runnable.remove(task)
             self._observe_depth()
@@ -54,7 +61,10 @@ class Scheduler:
                           len(self._runnable))
 
     def block(self, task: Task) -> None:
-        task.state = TaskState.BLOCKED
+        """Block a task (no-op beyond removal for exited tasks —
+        blocking must never resurrect a task torn down mid-operation)."""
+        if task.state is not TaskState.EXITED:
+            task.state = TaskState.BLOCKED
         self.remove(task)
 
     def wake(self, task: Task) -> None:

@@ -79,7 +79,18 @@ class SyscallLayer:
 
         ``buffer_bytes`` lists the sizes of user buffers passed by
         reference (each is double-copied under TOCTTOU protection).
+
+        Chaos: the ``kernel.syscall.{eintr,enomem,eagain}`` points fire
+        here, *before any handler work* — every handler calls ``enter``
+        as its first statement, so an injected entry fault leaves no
+        partial state and the dispatch layer's bounded retry
+        (:func:`repro.chaos.retry_syscall`) can safely re-run it.
         """
+        chaos = self.machine.chaos
+        if chaos.enabled:
+            fault = chaos.syscall_fault(name)
+            if fault is not None:
+                raise fault
         costs = self.machine.costs
         if self.trapless:
             self.machine.charge(costs.sealed_syscall_ns, "syscall_entry")

@@ -12,6 +12,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional
 
+from repro.chaos.engine import NULL_CHAOS
 from repro.cheri.codec import CapabilityCodec
 from repro.clock import EventCounters, SimClock
 from repro.hw.cpu import Core
@@ -32,6 +33,10 @@ class Machine:
         #: unified observability (disabled by default; see :mod:`repro.obs`)
         self.obs = Observability(self.clock)
         session_adopt(self.obs)
+        #: fault injection (permanently-disabled null engine by default;
+        #: a :class:`repro.chaos.ChaosEngine` installs itself here via
+        #: ``engine.attach(machine)`` — see :mod:`repro.chaos`)
+        self.chaos = NULL_CHAOS
         self.counters = EventCounters()
         self.phys = PhysicalMemory(self.config, self.costs, self.clock,
                                    self.counters, obs=self.obs)

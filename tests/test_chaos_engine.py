@@ -1,0 +1,175 @@
+"""Unit tier for the chaos engine: schedules, mixes, the point catalog."""
+
+import pytest
+
+from repro.chaos import (
+    INJECTION_POINTS,
+    ChaosEngine,
+    FaultMix,
+    NULL_CHAOS,
+    check_point_name,
+    register_point,
+)
+from repro.chaos.engine import _draw
+
+
+def engine(seed=7, spec="default=0.5", **kwargs):
+    return ChaosEngine(seed=seed, mix=FaultMix.parse(spec), **kwargs)
+
+
+class TestSchedule:
+    def test_same_seed_same_schedule(self):
+        a = [engine().should_fire("kernel.syscall.eintr")
+             for _ in range(300)]
+        b = [engine().should_fire("kernel.syscall.eintr")
+             for _ in range(300)]
+        # (each call above makes a fresh engine: index always 1)
+        assert a == b
+
+        one = engine()
+        two = engine()
+        assert [one.should_fire("kernel.syscall.eintr") for _ in range(300)] \
+            == [two.should_fire("kernel.syscall.eintr") for _ in range(300)]
+
+    def test_different_seed_different_schedule(self):
+        one, two = engine(seed=1), engine(seed=2)
+        assert [one.should_fire("kernel.syscall.eintr") for _ in range(300)] \
+            != [two.should_fire("kernel.syscall.eintr") for _ in range(300)]
+
+    def test_points_are_independent(self):
+        """Interleaving hits at other points must not shift a point's
+        own schedule — each point draws from its own hit counter."""
+        plain = engine()
+        sequence = [plain.should_fire("hw.phys.alloc_fail")
+                    for _ in range(100)]
+        noisy = engine()
+        noisy_sequence = []
+        for _ in range(100):
+            noisy.should_fire("kernel.syscall.eintr")   # extra hits
+            noisy.should_fire("hw.tlb.shootdown_loss")
+            noisy_sequence.append(noisy.should_fire("hw.phys.alloc_fail"))
+        assert sequence == noisy_sequence
+
+    def test_draw_is_uniform_enough(self):
+        draws = [_draw(7, "kernel.syscall.eintr", i) for i in range(2000)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+        assert 0.45 < sum(draws) / len(draws) < 0.55
+
+    def test_rate_one_always_fires_rate_zero_never(self):
+        always = engine(spec="default=1.0")
+        never = engine(spec="default=0.0")
+        for _ in range(20):
+            assert always.should_fire("kernel.syscall.eintr")
+            assert not never.should_fire("kernel.syscall.eintr")
+
+    def test_unregistered_point_rejected(self):
+        with pytest.raises(ValueError, match="unregistered"):
+            engine().should_fire("kernel.syscall.typo")
+
+    def test_disabled_and_paused_never_fire(self):
+        e = engine(spec="default=1.0")
+        e.disable()
+        assert not e.should_fire("kernel.syscall.eintr")
+        e.enable()
+        with e.paused():
+            assert not e.should_fire("kernel.syscall.eintr")
+        assert e.should_fire("kernel.syscall.eintr")
+
+    def test_accounting_and_export(self):
+        e = engine(spec="default=1.0")
+        e.should_fire("hw.phys.alloc_fail")
+        e.should_fire("hw.phys.alloc_fail")
+        e.note_recovery("hw.phys.alloc_fail")
+        record = e.export()
+        assert record["schema"] == "repro.chaos/v1"
+        assert record["hits"] == {"hw.phys.alloc_fail": 2}
+        assert record["fired"] == {"hw.phys.alloc_fail": 2}
+        assert record["recovered"] == {"hw.phys.alloc_fail": 1}
+        assert record["injections"] == [["hw.phys.alloc_fail", 1],
+                                        ["hw.phys.alloc_fail", 2]]
+
+    def test_degrade_tiers(self):
+        e = engine(spec="core.strategies.cap_fault_storm=1.0",
+                   degrade_after=2)
+        assert e.degrade_tiers() == 0
+        for _ in range(2):
+            e.should_fire("core.strategies.cap_fault_storm")
+        assert e.degrade_tiers() == 1
+        for _ in range(2):
+            e.should_fire("core.strategies.cap_fault_storm")
+        assert e.degrade_tiers() == 2
+        for _ in range(10):                     # clamps at the ladder end
+            e.should_fire("core.strategies.cap_fault_storm")
+        assert e.degrade_tiers() == 2
+        e.disable()
+        assert e.degrade_tiers() == 0
+
+
+class TestFaultMix:
+    def test_precedence_exact_wildcard_default(self):
+        mix = FaultMix.parse(
+            "default=0.1,core.ufork.abort.*=0.2,core.ufork.abort.reserve=0.9")
+        assert mix.rate_for("kernel.syscall.eintr") == 0.1
+        assert mix.rate_for("core.ufork.abort.copy_pages") == 0.2
+        assert mix.rate_for("core.ufork.abort.reserve") == 0.9
+
+    def test_longest_wildcard_wins(self):
+        mix = FaultMix.parse("core.*=0.1,core.ufork.abort.*=0.7")
+        assert mix.rate_for("core.ufork.abort.registers") == 0.7
+        assert mix.rate_for("core.strategies.cap_fault_storm") == 0.1
+
+    def test_rejects_unknown_point(self):
+        with pytest.raises(ValueError, match="unknown injection point"):
+            FaultMix.parse("kernel.syscall.nope=0.5")
+
+    def test_rejects_unmatched_wildcard(self):
+        with pytest.raises(ValueError, match="matches no registered"):
+            FaultMix.parse("kernel.nope.*=0.5")
+
+    def test_rejects_bad_rate_and_bad_entry(self):
+        with pytest.raises(ValueError, match="must be in"):
+            FaultMix.parse("default=1.5")
+        with pytest.raises(ValueError, match="not 'pattern=rate'"):
+            FaultMix.parse("default")
+
+    def test_to_spec_round_trips(self):
+        spec = "default=0.1,core.ufork.abort.*=0.2,hw.phys.tag_clear=0.9"
+        mix = FaultMix.parse(spec)
+        again = FaultMix.parse(mix.to_spec())
+        for point in INJECTION_POINTS:
+            assert mix.rate_for(point) == again.rate_for(point)
+
+
+class TestCatalog:
+    def test_all_points_follow_naming_contract(self):
+        for name, point in INJECTION_POINTS.items():
+            assert check_point_name(name) == name
+            assert point.layer in ("hw", "kernel", "core")
+            assert point.description
+
+    def test_check_point_name_rejects_bad_layer(self):
+        with pytest.raises(ValueError, match="must start with"):
+            check_point_name("apps.worker.crash")
+
+    def test_register_point_idempotent_but_conflict_raises(self):
+        point = register_point("hw.phys.alloc_fail",
+                               INJECTION_POINTS["hw.phys.alloc_fail"]
+                               .description)
+        assert point is INJECTION_POINTS["hw.phys.alloc_fail"]
+        with pytest.raises(ValueError, match="different description"):
+            register_point("hw.phys.alloc_fail", "something else")
+
+
+class TestNullChaos:
+    def test_null_engine_is_inert(self):
+        assert not NULL_CHAOS.enabled
+        assert not NULL_CHAOS.should_fire("hw.phys.alloc_fail")
+        assert NULL_CHAOS.syscall_fault("fork") is None
+        assert NULL_CHAOS.degrade_tiers() == 0
+        NULL_CHAOS.note_recovery("hw.phys.alloc_fail")  # no-op, no raise
+
+    def test_fresh_machine_carries_null_chaos(self):
+        from repro.machine import Machine
+        machine = Machine()
+        assert machine.chaos is NULL_CHAOS
+        assert machine.phys.chaos is NULL_CHAOS

@@ -15,6 +15,7 @@ REPO_ROOT = pathlib.Path(__file__).parent.parent
 DOCS = [
     REPO_ROOT / "README.md",
     REPO_ROOT / "docs" / "OBSERVABILITY.md",
+    REPO_ROOT / "docs" / "CHAOS.md",
 ]
 
 _FENCE_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)

@@ -1,0 +1,83 @@
+"""Scheduler-queue hardening: removal is idempotent and torn-down tasks
+can never be resurrected into the run queue (the chaos tier removes and
+blocks blindly during mid-operation teardown)."""
+
+from repro.kernel.sched import Scheduler
+from repro.kernel.task import Process, TaskState
+from repro.machine import Machine
+
+
+def make_task():
+    proc = Process(pid=100, name="victim")
+    return proc.add_task()
+
+
+def make_sched():
+    return Scheduler(Machine(), same_address_space=True)
+
+
+class TestIdempotentRemoval:
+    def test_remove_of_never_enqueued_task_is_noop(self):
+        sched = make_sched()
+        task = make_task()
+        sched.remove(task)                 # must not raise
+        assert sched.runnable_count == 0
+
+    def test_double_remove_is_noop(self):
+        sched = make_sched()
+        task = make_task()
+        sched.add(task)
+        sched.remove(task)
+        sched.remove(task)
+        assert sched.runnable_count == 0
+
+    def test_block_of_never_enqueued_task_is_safe(self):
+        sched = make_sched()
+        task = make_task()
+        sched.block(task)                  # must not raise
+        assert task.state is TaskState.BLOCKED
+        assert sched.runnable_count == 0
+
+    def test_remove_clears_current(self):
+        sched = make_sched()
+        task = make_task()
+        sched.add(task)
+        sched.switch_to(task)
+        assert sched.current is task
+        sched.remove(task)
+        assert sched.current is None
+
+
+class TestNoResurrection:
+    def test_block_after_exit_does_not_resurrect(self):
+        sched = make_sched()
+        task = make_task()
+        task.state = TaskState.EXITED
+        sched.block(task)
+        assert task.state is TaskState.EXITED     # not demoted to BLOCKED
+        sched.wake(task)
+        assert task.state is TaskState.EXITED     # and wake can't revive it
+        assert sched.runnable_count == 0
+
+    def test_add_refuses_exited_task(self):
+        sched = make_sched()
+        task = make_task()
+        task.state = TaskState.EXITED
+        sched.add(task)
+        assert sched.runnable_count == 0
+
+    def test_process_exit_marks_tasks_exited(self):
+        from repro.apps.guest import GuestContext
+        from repro.apps.hello import hello_world_image
+        from repro.core import IsolationConfig, UForkOS
+
+        os_ = UForkOS(machine=Machine(),
+                      isolation=IsolationConfig.fault())
+        ctx = GuestContext(os_, os_.spawn(hello_world_image(), "app"))
+        task = ctx.proc.main_task()
+        ctx.exit(0)
+        assert task.state is TaskState.EXITED
+        os_.sched.block(task)              # late blind block: still EXITED
+        assert task.state is TaskState.EXITED
+        os_.sched.add(task)                # and it cannot re-enter the queue
+        assert all(t is not task for t in os_.sched._runnable)
