@@ -1,0 +1,77 @@
+"""SMP scaling: fork cost and FaaS throughput vs online CPUs (1 -> 8).
+
+Not a paper figure — the paper measures on fixed hardware — but the
+quantitative form of its §2.2 lightweightness argument: classic fork
+must broadcast TLB-shootdown IPIs to every other online CPU when it
+write-protects the parent for CoW, so its per-fork cost *grows* with
+core count, while μFork's footprint-bounded fork sends none for a
+single-threaded parent and stays flat.  The FaaS series shows the
+zygote workload actually harvesting the extra cores.
+"""
+
+from conftest import run_once
+
+from repro.smp.runner import run_smp
+
+CPU_COUNTS = (1, 2, 4, 8)
+SEED = 7
+
+
+def _scaling_rows():
+    rows = []
+    for cpus in CPU_COUNTS:
+        faas = run_smp(seed=SEED, num_cpus=cpus, requests=48,
+                       workload="faas")
+        forks = run_smp(seed=SEED, num_cpus=cpus, requests=16,
+                        workload="forkbench")
+        systems = forks["systems"]
+        rows.append({
+            "cpus": cpus,
+            "faas_rps": round(faas["throughput_rps"], 1),
+            "steals": faas["steals"],
+            "ipis": faas["ipi"]["sent"],
+            "ufork_us_per_fork": round(
+                systems["ufork"]["per_fork_ns"] / 1e3, 1),
+            "ufork_shootdown_ipis": systems["ufork"]["shootdown_ipis"],
+            "mono_us_per_fork": round(
+                systems["monolithic"]["per_fork_ns"] / 1e3, 1),
+            "mono_shootdown_ipis": systems["monolithic"]["shootdown_ipis"],
+            "fork_gap": round(forks["fork_gap"], 2),
+        })
+    return rows
+
+
+def test_smp_scaling(benchmark, record_figure):
+    rows = run_once(benchmark, _scaling_rows)
+    record_figure(
+        "BENCH_smp_scaling", rows,
+        "SMP scaling: FaaS throughput and per-fork cost, 1 -> 8 CPUs",
+    )
+    by_cpus = {row["cpus"]: row for row in rows}
+
+    # FaaS throughput scales with cores; 4 CPUs buy >= 2.5x (acceptance)
+    series = [by_cpus[c]["faas_rps"] for c in CPU_COUNTS]
+    assert series == sorted(series)
+    assert by_cpus[4]["faas_rps"] >= 2.5 * by_cpus[1]["faas_rps"]
+
+    # μFork never broadcasts: zero shootdown IPIs at every core count,
+    # per-fork cost essentially flat (only SMP locking overhead on top)
+    for cpus in CPU_COUNTS:
+        assert by_cpus[cpus]["ufork_shootdown_ipis"] == 0
+    assert (by_cpus[8]["ufork_us_per_fork"]
+            < 1.10 * by_cpus[1]["ufork_us_per_fork"])
+
+    # monolithic fork broadcasts to every other online CPU: exactly
+    # forks x (N - 1) IPIs, so its per-fork cost grows with cores...
+    for cpus in CPU_COUNTS:
+        assert by_cpus[cpus]["mono_shootdown_ipis"] == 16 * (cpus - 1)
+    mono = [by_cpus[c]["mono_us_per_fork"] for c in CPU_COUNTS]
+    assert mono == sorted(mono) and mono[-1] > mono[0]
+
+    # ...and the μFork-vs-fork gap widens monotonically across the SMP
+    # sizes (at 1 -> 2 CPUs μFork starts paying spinlock overhead while
+    # monolithic gains only one shootdown recipient, so the comparison
+    # starts from the 2-CPU configuration)
+    gaps = [by_cpus[c]["fork_gap"] for c in (2, 4, 8)]
+    assert gaps == sorted(gaps) and gaps[-1] > gaps[0]
+    assert by_cpus[8]["fork_gap"] > by_cpus[1]["fork_gap"]

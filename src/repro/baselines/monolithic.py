@@ -59,18 +59,21 @@ def handle_cow_fault(space: AddressSpace, vaddr: int,
     if kind is not AccessKind.WRITE:
         return False
     machine = space.machine
-    vpn = vaddr // machine.config.page_size
-    pte = space.page_table.get(vpn)
-    if pte is None or not pte.cow:
-        return False
-    if machine.phys.refcount(pte.frame) > 1:
-        new_frame = machine.phys.copy_frame(pte.frame, preserve_tags=True)
-        space.replace_frame(vpn, new_frame)
-        machine.counters.add("cow_page_copies")
-    machine.obs.count("baselines.monolithic.cow_breaks")
-    pte.perms |= PagePerm.WRITE
-    pte.cow = False
-    return True
+    # PTE state is shared between parent and child; on SMP the break
+    # runs under the fault spinlock (free at 1 CPU).
+    with machine.locks.fault.held():
+        vpn = vaddr // machine.config.page_size
+        pte = space.page_table.get(vpn)
+        if pte is None or not pte.cow:
+            return False
+        if machine.phys.refcount(pte.frame) > 1:
+            new_frame = machine.phys.copy_frame(pte.frame, preserve_tags=True)
+            space.replace_frame(vpn, new_frame)
+            machine.counters.add("cow_page_copies")
+        machine.obs.count("baselines.monolithic.cow_breaks")
+        pte.perms |= PagePerm.WRITE
+        pte.cow = False
+        return True
 
 
 class MonolithicOS(AbstractOS):
@@ -181,6 +184,11 @@ class MonolithicOS(AbstractOS):
         ``fixed`` / ``pte_copy`` / ``registers`` / ``allocator`` spans
         under the caller's ``syscall.fork`` span."""
         machine = self.machine
+        with machine.locks.fork.held():
+            return self._fork_locked(proc)
+
+    def _fork_locked(self, proc: Process) -> Process:
+        machine = self.machine
         obs = machine.obs
         with obs.span("fixed"):
             machine.charge(getattr(machine.costs, self.FORK_FIXED_ATTR),
@@ -211,11 +219,19 @@ class MonolithicOS(AbstractOS):
                                          incref=True, cow=pte.cow)
         child.space = child_space
 
+        # §2.2: the monolithic kernel tracks no per-process CPU
+        # footprint, so after write-protecting the parent's pages it
+        # must conservatively broadcast the shootdown to every other
+        # online CPU — the cost that makes classic fork scale with core
+        # count while μFork's footprint-bounded variant does not.
+        if machine.num_cpus > 1:
+            machine.tlb_shootdown(range(machine.num_cpus),
+                                  reason="fork_cow")
+
         # registers copy verbatim: identical virtual addresses
         task = child.add_task()
         with obs.span("registers"):
-            for name, value in proc.main_task().registers.items():
-                task.registers.set(name, value)
+            task.registers.copy_from(proc.main_task().registers)
 
         with obs.span("allocator"):
             child.allocator = type(proc.allocator)(

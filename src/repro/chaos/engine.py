@@ -264,5 +264,10 @@ class NullChaos:
     def degrade_tiers(self) -> int:
         return 0
 
+    @contextmanager
+    def paused(self):
+        """No-op pause (drop-in for :meth:`ChaosEngine.paused`)."""
+        yield
+
 
 NULL_CHAOS = NullChaos()

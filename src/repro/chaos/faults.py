@@ -25,7 +25,7 @@ from typing import Dict
 from repro.errors import Interrupted, KernelError, OutOfMemory, WouldBlock
 
 #: layers that may host injection sites (first name segment)
-POINT_LAYERS = ("hw", "kernel", "core")
+POINT_LAYERS = ("hw", "kernel", "core", "smp")
 
 
 class InjectedFault:
@@ -167,3 +167,15 @@ register_point(
     "core.strategies.cap_fault_storm",
     "a CoPA capability-load break is hit by a storm of spurious "
     "repeat faults before it sticks (feeds strategy degradation)")
+register_point(
+    "smp.ipi.drop",
+    "an IPI is dropped in flight; the sender's ack timeout expires and "
+    "the interrupt is re-sent (the retry always lands)")
+register_point(
+    "smp.steal.abort",
+    "a work-steal attempt aborts as if the victim queue's lock were "
+    "contended; the stealing CPU stays idle this round")
+register_point(
+    "smp.tlb.stale_storm",
+    "a shootdown recipient observes a storm of stale translations and "
+    "must invalidate twice before the flush sticks")

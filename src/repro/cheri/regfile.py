@@ -62,6 +62,12 @@ class RegisterFile:
             if isinstance(value, Capability) and value.valid:
                 yield name, value
 
+    def copy_from(self, other: "RegisterFile") -> None:
+        """Overwrite this file with another's contents (register-state
+        inheritance at fork/thread-create)."""
+        for name, value in other.items():
+            self.set(name, value)
+
     def copy(self) -> "RegisterFile":
         clone = RegisterFile()
         clone._regs = dict(self._regs)

@@ -142,9 +142,12 @@ class UForkOS(AbstractOS):
     # ------------------------------------------------------------------
 
     def _handle_fault(self, space: AddressSpace, vaddr: int, kind) -> bool:
-        if handle_fork_fault(space, vaddr, kind):
-            return True
-        return self._handle_demand_zero(vaddr)
+        # CoW/CoPA fault resolution mutates shared PTE state, so on an
+        # SMP machine it runs under the fault spinlock (free at 1 CPU).
+        with self.machine.locks.fault.held():
+            if handle_fork_fault(space, vaddr, kind):
+                return True
+            return self._handle_demand_zero(vaddr)
 
     def _handle_demand_zero(self, vaddr: int) -> bool:
         page = self.machine.config.page_size
@@ -188,24 +191,27 @@ class UForkOS(AbstractOS):
         machine = self.machine
         strategy = self._effective_strategy(machine.chaos)
         tx = Transaction()
-        try:
-            child = self._fork_phases(proc, strategy, tx)
-        except Exception as exc:
-            tx.rollback()
-            machine.counters.add("fork_rollbacks")
-            machine.obs.count("core.ufork.fork_rollbacks")
-            machine.trace("fork_rollback", parent=proc.pid,
-                          reason=type(exc).__name__)
-            point = getattr(exc, "point", None)
-            if point is not None:
-                machine.chaos.note_recovery(point)
-            if getattr(exc, "injected", False) and \
-                    not isinstance(exc, InjectedForkFailure):
-                raise InjectedForkFailure(
-                    f"fork of pid {proc.pid} aborted by injected fault "
-                    f"({exc})") from exc
-            raise
-        tx.commit()
+        # Fork serializes against concurrent forks/faults on other CPUs
+        # (a no-op spinlock while num_cpus == 1).
+        with machine.locks.fork.held():
+            try:
+                child = self._fork_phases(proc, strategy, tx)
+            except Exception as exc:
+                tx.rollback()
+                machine.counters.add("fork_rollbacks")
+                machine.obs.count("core.ufork.fork_rollbacks")
+                machine.trace("fork_rollback", parent=proc.pid,
+                              reason=type(exc).__name__)
+                point = getattr(exc, "point", None)
+                if point is not None:
+                    machine.chaos.note_recovery(point)
+                if getattr(exc, "injected", False) and \
+                        not isinstance(exc, InjectedForkFailure):
+                    raise InjectedForkFailure(
+                        f"fork of pid {proc.pid} aborted by injected fault "
+                        f"({exc})") from exc
+                raise
+            tx.commit()
         return child
 
     def _effective_strategy(self, chaos: Any) -> CopyStrategy:
@@ -313,6 +319,15 @@ class UForkOS(AbstractOS):
                         newly_shared.append(parent_pte)
         self._abort_point("core.ufork.abort.copy_pages", proc)
 
+        # §2.2: μFork knows the μprocess's CPU footprint, so the
+        # write-protect shootdown covers only CPUs that may cache its
+        # translations — for a single-threaded parent that never
+        # migrated, that is zero IPIs (the initiating CPU flushes
+        # locally as part of the PTE updates above).
+        if machine.num_cpus > 1:
+            machine.tlb_shootdown(proc.cpu_footprint(),
+                                  reason="fork_protect")
+
         # shared-memory bindings carry over to the child's region
         child.shm_vpns = {vpn + delta_pages for vpn in shm_vpns}
         child.shm_bindings = list(getattr(proc, "shm_bindings", []))
@@ -327,8 +342,7 @@ class UForkOS(AbstractOS):
         # 3. post-copy phase: new task, relocated registers, allocator
         task = child.add_task()
         with obs.span("registers"):
-            for name, value in proc.main_task().registers.items():
-                task.registers.set(name, value)
+            task.registers.copy_from(proc.main_task().registers)
             relocate_registers(machine, task.registers, regions)
         self._abort_point("core.ufork.abort.registers", proc)
 

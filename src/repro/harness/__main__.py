@@ -10,6 +10,10 @@ Usage::
     python -m repro.harness obs-report --json profile.json
     python -m repro.harness chaos --seed 7 --iterations 200
     python -m repro.harness chaos --fault-mix "default=0.01,core.ufork.abort.*=0.2"
+    python -m repro.harness smp --cpus 4 --seed 7       # one SMP run
+    python -m repro.harness smp                          # 1/2/4/8 sweep
+    python -m repro.harness smp --workload forkbench --cpus 8
+    python -m repro.harness smp --cpus 4 --fault-mix "smp.*=0.1"
 """
 
 from __future__ import annotations
@@ -46,10 +50,11 @@ def main(argv=None) -> int:
         description="Regenerate the μFork paper's tables and figures."
     )
     parser.add_argument("command", nargs="?", default=None,
-                        choices=["obs-report", "chaos"],
+                        choices=["obs-report", "chaos", "smp"],
                         help="optional subcommand: obs-report prints a "
                              "hierarchical fork-cost profile; chaos runs "
-                             "the fault-injection workload (docs/CHAOS.md)")
+                             "the fault-injection workload (docs/CHAOS.md); "
+                             "smp runs a multi-core workload (docs/SMP.md)")
     parser.add_argument("--full", action="store_true",
                         help="run the paper-scale 100 KB-100 MB sweep")
     parser.add_argument("--only", metavar="NAME", default=None,
@@ -66,8 +71,16 @@ def main(argv=None) -> int:
     parser.add_argument("--iterations", type=int, default=200,
                         help="(chaos) number of workload operations")
     parser.add_argument("--fault-mix", metavar="SPEC", default=None,
-                        help="(chaos) pattern=rate,... injection rates "
-                             "(see docs/CHAOS.md)")
+                        help="(chaos/smp) pattern=rate,... injection "
+                             "rates (see docs/CHAOS.md)")
+    parser.add_argument("--cpus", type=int, default=None,
+                        help="(smp) online CPU count; omit to sweep "
+                             "1/2/4/8 cores")
+    parser.add_argument("--requests", type=int, default=64,
+                        help="(smp) number of workload requests")
+    parser.add_argument("--workload", default="faas",
+                        choices=["faas", "nginx", "forkbench"],
+                        help="(smp) which workload to drive")
     args = parser.parse_args(argv)
 
     if args.command == "obs-report":
@@ -84,6 +97,23 @@ def main(argv=None) -> int:
         if args.obs_dir:
             print(f"[sidecars: {args.obs_dir}/chaos-{args.seed}"
                   f".obs.json + .chaos.json]")
+        return 0
+
+    if args.command == "smp":
+        from repro.smp.runner import DEFAULT_SWEEP, format_summary, run_smp
+        sweep = [args.cpus] if args.cpus is not None else list(DEFAULT_SWEEP)
+        for index, cpus in enumerate(sweep):
+            if index:
+                print()
+            summary = run_smp(seed=args.seed, num_cpus=cpus,
+                              requests=args.requests,
+                              workload=args.workload,
+                              mix=args.fault_mix,
+                              obs_dir=args.obs_dir)
+            print(format_summary(summary))
+            if args.obs_dir:
+                print(f"[sidecars: {args.obs_dir}/smp-{args.seed}"
+                      f"-c{cpus}.obs.json + .smp.json]")
         return 0
 
     sizes = FULL_DB_SIZES if args.full else DEFAULT_DB_SIZES

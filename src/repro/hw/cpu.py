@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from repro.cheri.regfile import RegisterFile
+from repro.hw.tlb import TLB
 
 
 class Core:
@@ -24,6 +25,15 @@ class Core:
         #: the task (OS-defined object) currently running on this core
         self.current_task: Optional[Any] = None
         self.domain_switches = 0
+        #: this core's private TLB (cross-core invalidation goes
+        #: through the shootdown protocol, :mod:`repro.smp.ipi`)
+        self.tlb = TLB(machine, cpu_id=core_id)
+        #: per-CPU schedule timeline (ns), maintained by
+        #: :class:`repro.smp.exec.SmpExecutor`
+        self.local_ns: float = 0.0
+        self.busy_ns: float = 0.0
+        self.idle_ns: float = 0.0
+        self.steps = 0
 
     def switch_to(self, task: Any, same_address_space: bool) -> None:
         """Context switch, charging the appropriate cost.

@@ -12,10 +12,19 @@ from typing import Any
 
 
 class TLB:
-    """Tracks flushes and charges their cost to the simulated clock."""
+    """Tracks flushes and charges their cost to the simulated clock.
 
-    def __init__(self, machine: Any) -> None:
+    Each CPU core owns a *private* TLB (``machine.cores[i].tlb``);
+    ``machine.tlb`` aliases CPU 0's instance, so single-CPU call sites
+    keep their historical behavior.  Cross-core invalidation goes
+    through the ack-based shootdown protocol in :mod:`repro.smp.ipi`,
+    whose broadcast cost is **per recipient** — see
+    :meth:`~repro.params.CostModel.shootdown_ns`.
+    """
+
+    def __init__(self, machine: Any, cpu_id: int = 0) -> None:
         self._machine = machine
+        self.cpu_id = cpu_id
         self.flush_count = 0
 
     def flush(self) -> None:
@@ -38,3 +47,14 @@ class TLB:
         self._machine.clock.advance(self._machine.costs.tlb_flush_ns, "tlb_flush")
         self._machine.counters.add("tlb_flush")
         self._machine.obs.count("hw.tlb.flush")
+
+    def remote_invalidate(self) -> None:
+        """Shootdown recipient side: invalidate stale translations in
+        response to a ``tlb_shootdown`` IPI.  Charged once per
+        recipient — this is the f(online CPUs) term of the broadcast
+        cost formula (docs/COSTMODEL.md)."""
+        self.flush_count += 1
+        machine = self._machine
+        machine.clock.advance(machine.costs.tlb_flush_ns, "tlb_shootdown")
+        machine.counters.add("tlb_remote_invalidate")
+        machine.obs.count("smp.tlb.remote_invalidate")

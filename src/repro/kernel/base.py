@@ -25,7 +25,7 @@ from repro.hw.paging import AddressSpace
 from repro.kernel.fdtable import FDTable, FileDescription
 from repro.kernel.ipc import MessageQueue, Pipe
 from repro.kernel.net import NetworkStack
-from repro.kernel.sched import Scheduler
+from repro.kernel.sched import make_scheduler
 from repro.kernel.syscalls import IsolationConfig, SyscallLayer
 from repro.kernel.task import PidAllocator, Process, ProcessTable
 from repro.kernel.vfs import O_RDONLY, RamDisk
@@ -62,7 +62,7 @@ class AbstractOS(abc.ABC):
         self.net = NetworkStack(self.machine)
         self.pids = PidAllocator()
         self.procs = ProcessTable()
-        self.sched = Scheduler(self.machine, same_address_space)
+        self.sched = make_scheduler(self.machine, same_address_space)
         self._mqueues: Dict[str, MessageQueue] = {}
         self._shm: Dict[str, SharedMemoryObject] = {}
 
@@ -298,8 +298,7 @@ class AbstractOS(abc.ABC):
                             "thread_create")
         task = proc.add_task()
         # the new thread starts from the caller's register state
-        for name, value in proc.main_task().registers.items():
-            task.registers.set(name, value)
+        task.registers.copy_from(proc.main_task().registers)
         self.sched.add(task)
         return task
 

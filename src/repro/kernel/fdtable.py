@@ -86,12 +86,16 @@ class FDTable:
     # -- fork support ---------------------------------------------------------
 
     def fork_copy(self, machine: Any) -> "FDTable":
-        """Duplicate for a forked child (shared descriptions)."""
+        """Duplicate for a forked child (shared descriptions).
+
+        Description refcounts are shared across processes, so on SMP the
+        copy runs under the fd-table spinlock (free at 1 CPU)."""
         child = FDTable(self._first_fd)
-        for fd, desc in self._slots.items():
-            desc.incref()
-            child._slots[fd] = desc
-            machine.charge(machine.costs.fd_dup_ns, "fd_dup")
+        with machine.locks.fdtable.held():
+            for fd, desc in self._slots.items():
+                desc.incref()
+                child._slots[fd] = desc
+                machine.charge(machine.costs.fd_dup_ns, "fd_dup")
         return child
 
     # -- introspection -----------------------------------------------------------

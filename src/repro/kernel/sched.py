@@ -20,6 +20,17 @@ from typing import Any, Deque, Optional
 from repro.kernel.task import Task, TaskState
 
 
+def make_scheduler(machine: Any, same_address_space: bool):
+    """Pick the machine's scheduler: the single global round-robin
+    queue on a 1-CPU machine (bit-identical to the pre-SMP model), or
+    per-CPU run queues with work stealing once more than one CPU is
+    online (:class:`repro.smp.sched.SmpScheduler`)."""
+    if getattr(machine, "num_cpus", 1) > 1:
+        from repro.smp.sched import SmpScheduler
+        return SmpScheduler(machine, same_address_space)
+    return Scheduler(machine, same_address_space)
+
+
 class Scheduler:
     """Round-robin over runnable tasks with switch-cost accounting."""
 

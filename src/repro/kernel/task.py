@@ -11,7 +11,7 @@ space attached — by the monolithic baseline.
 from __future__ import annotations
 
 from enum import Enum, auto
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, FrozenSet, List, Optional, Set
 
 from repro.cheri.regfile import RegisterFile
 from repro.errors import NoSuchProcess
@@ -34,6 +34,20 @@ class Task:
         self.process = process
         self.registers = RegisterFile()
         self.state = TaskState.RUNNABLE
+        #: CPU-affinity mask (``None`` = may run on any online CPU)
+        self.affinity: Optional[FrozenSet[int]] = None
+        #: last CPU this task was dispatched on — feeds the μprocess
+        #: CPU-footprint that bounds fork-time TLB shootdowns (§2.2)
+        self.last_cpu: int = 0
+
+    def can_run_on(self, cpu: int) -> bool:
+        return self.affinity is None or cpu in self.affinity
+
+    def pin(self, *cpus: int) -> None:
+        """Restrict this task to the given CPUs (sched_setaffinity)."""
+        if not cpus:
+            raise ValueError("affinity mask cannot be empty")
+        self.affinity = frozenset(cpus)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Task(tid={self.tid}, pid={self.process.pid}, {self.state.name})"
@@ -84,6 +98,13 @@ class Process:
     @property
     def registers(self) -> RegisterFile:
         return self.main_task().registers
+
+    def cpu_footprint(self) -> Set[int]:
+        """CPUs that may hold TLB state for this process's pages: the
+        set of CPUs its threads last ran on.  μFork consults this at
+        fork so the shootdown broadcast covers only the μprocess's
+        actual footprint instead of every online CPU (§2.2)."""
+        return {task.last_cpu for task in self.tasks}
 
     # -- lifecycle -------------------------------------------------------
 

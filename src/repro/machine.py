@@ -10,25 +10,35 @@ runs hermetic and deterministic.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from dataclasses import replace
+from typing import Iterable, List, Optional
 
 from repro.chaos.engine import NULL_CHAOS
 from repro.cheri.codec import CapabilityCodec
 from repro.clock import EventCounters, SimClock
 from repro.hw.cpu import Core
 from repro.hw.phys import PhysicalMemory
-from repro.hw.tlb import TLB
 from repro.obs import Observability, session_adopt
 from repro.params import DEFAULT_COSTS, DEFAULT_MACHINE, CostModel, MachineConfig
+from repro.smp.ipi import IpiBus, tlb_shootdown
+from repro.smp.locks import KernelLocks
 
 
 class Machine:
     """Shared simulated-hardware state for one experiment run."""
 
     def __init__(self, config: Optional[MachineConfig] = None,
-                 costs: Optional[CostModel] = None, seed: int = 0) -> None:
+                 costs: Optional[CostModel] = None, seed: int = 0,
+                 num_cpus: int = 1) -> None:
         self.config = config or DEFAULT_MACHINE
         self.costs = costs or DEFAULT_COSTS
+        #: online CPUs actually scheduling work (``num_cpus=1``, the
+        #: default, is the pre-SMP machine bit for bit; the config's
+        #: ``cores`` stays the bookkeeping core count and grows only
+        #: when more CPUs are brought online than it has cores)
+        self.num_cpus = max(1, int(num_cpus))
+        if self.num_cpus > self.config.cores:
+            self.config = replace(self.config, cores=self.num_cpus)
         self.clock = SimClock()
         #: unified observability (disabled by default; see :mod:`repro.obs`)
         self.obs = Observability(self.clock)
@@ -41,14 +51,38 @@ class Machine:
         self.phys = PhysicalMemory(self.config, self.costs, self.clock,
                                    self.counters, obs=self.obs)
         self.codec = CapabilityCodec()
-        self.tlb = TLB(self)
         self.cores: List[Core] = [
             Core(self, core_id) for core_id in range(self.config.cores)
         ]
+        #: CPU 0's private TLB (single-CPU call sites and tests use
+        #: this alias; each core owns its own instance)
+        self.tlb = self.cores[0].tlb
+        #: the inter-processor-interrupt bus (see :mod:`repro.smp.ipi`)
+        self.ipi = IpiBus(self)
+        #: kernel spinlocks (free no-ops while ``num_cpus == 1``)
+        self.locks = KernelLocks(self)
+        #: CPU the kernel is currently executing on (the SMP executor
+        #: flips this around each step)
+        self.current_cpu = 0
+        #: IRQ-disable nesting depth (see :class:`repro.smp.locks.IrqGuard`)
+        self.irq_depth = 0
         #: deterministic randomness source (ASLR etc.)
         self.rng = random.Random(seed)
         #: optional structured-event tracer (see :mod:`repro.trace`)
         self.tracer = None
+
+    @property
+    def cpus(self) -> List[Core]:
+        """The online CPUs (the first ``num_cpus`` cores)."""
+        return self.cores[:self.num_cpus]
+
+    def tlb_shootdown(self, targets: Iterable[int],
+                      initiator: Optional[int] = None,
+                      reason: str = "shootdown") -> int:
+        """Ack-based cross-core TLB shootdown (see :mod:`repro.smp.ipi`);
+        returns the number of recipient CPUs actually interrupted."""
+        return tlb_shootdown(self, targets, initiator=initiator,
+                             reason=reason)
 
     def charge(self, ns: float, bucket: Optional[str] = None) -> None:
         """Charge simulated time (convenience passthrough to the clock)."""

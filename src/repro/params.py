@@ -129,6 +129,20 @@ class CostModel:
     #: terminating a process on the monolithic OS (reaping, pmap teardown)
     monolithic_exit_ns: float = 9_000.0
 
+    # -- SMP / cross-core coherence ---------------------------------------
+    #: delivering one inter-processor interrupt to one remote core
+    ipi_send_ns: float = 900.0
+    #: the initiator receiving one acknowledgement from a recipient
+    ipi_ack_ns: float = 250.0
+    #: ack-timeout detection before a lost IPI is re-sent
+    ipi_timeout_ns: float = 5_000.0
+    #: uncontended kernel spinlock acquire (one exclusive cacheline
+    #: transfer); free on a 1-CPU machine, like CONFIG_SMP=n
+    spinlock_ns: float = 60.0
+    #: migrating one task between per-CPU run queues (work stealing:
+    #: remote queue lock + task-struct cacheline traffic)
+    work_steal_ns: float = 350.0
+
     # -- I/O ------------------------------------------------------------
     #: per-byte cost of moving data through a pipe / ramdisk file
     io_copy_ns_per_byte: float = 0.25
@@ -167,6 +181,15 @@ class CostModel:
     def page_scan_ns(self, page_size: int, granule: int) -> float:
         """Cost of the relocation tag-scan over one page."""
         return self.tag_scan_ns_per_granule * (page_size // granule)
+
+    def shootdown_ns(self, recipients: int) -> float:
+        """Cost of one loss-free ack-based TLB-shootdown broadcast to
+        ``recipients`` remote CPUs (the docs/COSTMODEL.md formula):
+        R × (ipi_send_ns + tlb_flush_ns + ipi_ack_ns).  Zero recipients
+        — a 1-CPU machine, or a μprocess whose footprint is the
+        initiating CPU alone — costs nothing."""
+        return recipients * (self.ipi_send_ns + self.tlb_flush_ns
+                             + self.ipi_ack_ns)
 
 
 DEFAULT_MACHINE = MachineConfig()

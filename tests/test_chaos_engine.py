@@ -142,9 +142,10 @@ class TestFaultMix:
 
 class TestCatalog:
     def test_all_points_follow_naming_contract(self):
+        from repro.chaos.faults import POINT_LAYERS
         for name, point in INJECTION_POINTS.items():
             assert check_point_name(name) == name
-            assert point.layer in ("hw", "kernel", "core")
+            assert point.layer in POINT_LAYERS
             assert point.description
 
     def test_check_point_name_rejects_bad_layer(self):

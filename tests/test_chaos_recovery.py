@@ -231,8 +231,31 @@ class TestDegradation:
 # Acceptance: every registered point fires at its real site
 # ----------------------------------------------------------------------
 
+def _exercise_smp(point):
+    """SMP points need a multi-CPU machine, not a full OS."""
+    machine = Machine(seed=7, num_cpus=2)
+    machine.obs.enable()
+    engine = ChaosEngine(seed=7, mix=FaultMix.parse(f"{point}=1.0"))
+    engine.attach(machine)
+    if point == "smp.ipi.drop":
+        machine.ipi.send(0, 1, "resched")
+    elif point == "smp.tlb.stale_storm":
+        machine.tlb_shootdown([0, 1])
+    elif point == "smp.steal.abort":
+        from repro.smp.sched import SmpScheduler
+        sched = SmpScheduler(machine, True)
+        assert sched.steal_into(1) is None
+    else:  # pragma: no cover - catalog grew without a coverage driver
+        raise AssertionError(f"no exercise driver for {point}")
+    assert engine.fired.get(point, 0) >= 1, \
+        f"{point} never fired at its instrumentation site"
+
+
 def _exercise(point):
     """Drive the one workload fragment that hits ``point``'s site."""
+    if point.startswith("smp."):
+        _exercise_smp(point)
+        return
     os_, ctx, engine = chaos_os(f"{point}=1.0", eager_copy=False)
     if point == "hw.phys.alloc_fail":
         with pytest.raises(Exception):

@@ -16,6 +16,7 @@ DOCS = [
     REPO_ROOT / "README.md",
     REPO_ROOT / "docs" / "OBSERVABILITY.md",
     REPO_ROOT / "docs" / "CHAOS.md",
+    REPO_ROOT / "docs" / "SMP.md",
 ]
 
 _FENCE_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)

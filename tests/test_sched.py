@@ -1,10 +1,16 @@
 """Scheduler-queue hardening: removal is idempotent and torn-down tasks
 can never be resurrected into the run queue (the chaos tier removes and
-blocks blindly during mid-operation teardown)."""
+blocks blindly during mid-operation teardown).  The property tests at
+the bottom fuzz the SMP work-stealing balancer against the same
+invariants plus CPU affinity."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.kernel.sched import Scheduler
 from repro.kernel.task import Process, TaskState
 from repro.machine import Machine
+from repro.smp.sched import SmpScheduler
 
 
 def make_task():
@@ -81,3 +87,73 @@ class TestNoResurrection:
         assert task.state is TaskState.EXITED
         os_.sched.add(task)                # and it cannot re-enter the queue
         assert all(t is not task for t in os_.sched._runnable)
+
+
+# ----------------------------------------------------------------------
+# Work-stealing properties (SMP): affinity is inviolable and EXITED
+# tasks stay dead, whatever the queue shapes look like
+# ----------------------------------------------------------------------
+
+NUM_CPUS = 4
+
+#: one fuzzed task: (affinity mask or None, exited?, victim queue)
+task_specs = st.lists(
+    st.tuples(
+        st.one_of(st.none(),
+                  st.sets(st.integers(0, NUM_CPUS - 1), min_size=1)),
+        st.booleans(),
+        st.integers(0, NUM_CPUS - 1),
+    ),
+    min_size=0, max_size=12,
+)
+
+
+def build_smp_sched(specs):
+    sched = SmpScheduler(Machine(num_cpus=NUM_CPUS),
+                         same_address_space=True)
+    proc = Process(pid=100, name="fuzz")
+    tasks = []
+    for affinity, exited, queue in specs:
+        task = proc.add_task()
+        if affinity is not None:
+            task.pin(*affinity)
+        if exited:
+            task.state = TaskState.EXITED
+        # place directly: the fuzz controls queue shape, not _place()
+        sched._queues[queue].append(task)
+        tasks.append(task)
+    return sched, tasks
+
+
+@settings(max_examples=60, deadline=None)
+@given(specs=task_specs, thief=st.integers(0, NUM_CPUS - 1))
+def test_steal_never_violates_affinity(specs, thief):
+    sched, _tasks = build_smp_sched(specs)
+    stolen = sched.steal_into(thief)
+    if stolen is not None:
+        assert stolen.can_run_on(thief)
+        assert stolen in sched._queues[thief]
+
+
+@settings(max_examples=60, deadline=None)
+@given(specs=task_specs, thief=st.integers(0, NUM_CPUS - 1))
+def test_steal_never_resurrects_exited_task(specs, thief):
+    sched, tasks = build_smp_sched(specs)
+    stolen = sched.steal_into(thief)
+    if stolen is not None:
+        assert stolen.state is TaskState.RUNNABLE
+    # no EXITED task may remain claimable anywhere after the pass
+    exited = [task for task in tasks if task.state is TaskState.EXITED]
+    for cpu in range(NUM_CPUS):
+        picked = sched.pick_for_cpu(cpu)
+        assert picked not in exited
+
+
+@settings(max_examples=60, deadline=None)
+@given(specs=task_specs)
+def test_smp_remove_is_idempotent_under_fuzz(specs):
+    sched, tasks = build_smp_sched(specs)
+    for task in tasks:
+        sched.remove(task)
+        sched.remove(task)
+    assert sched.runnable_count == 0
