@@ -204,11 +204,18 @@ class MonolithicOS(AbstractOS):
 
         child_space = AddressSpace(machine, f"as-{proc.name}-{child.pid}")
         child_space.fault_handler = handle_cow_fault
+        shm_vpns = getattr(proc, "shm_vpns", set())
         with obs.span("pte_copy"):
             for vpn, pte in list(proc.space.page_table.entries()):
                 machine.charge(machine.costs.pte_copy_ns, "fork_pte_copy")
                 writable = bool(pte.perms & PagePerm.WRITE)
-                if writable:
+                if vpn in shm_vpns:
+                    # MAP_SHARED memory survives fork shared and
+                    # writable on both sides (POSIX): same frames, no
+                    # copy-on-write
+                    child_space.map_page(vpn, pte.frame, pte.perms,
+                                         incref=True)
+                elif writable:
                     # mark both sides CoW
                     pte.perms &= ~PagePerm.WRITE
                     pte.cow = True
@@ -218,6 +225,10 @@ class MonolithicOS(AbstractOS):
                     child_space.map_page(vpn, pte.frame, pte.perms,
                                          incref=True, cow=pte.cow)
         child.space = child_space
+        # shared-memory bindings carry over (same VAs: no rebase needed)
+        child.shm_vpns = set(shm_vpns)
+        child.shm_bindings = list(getattr(proc, "shm_bindings", []))
+        child.mmap_offset = getattr(proc, "mmap_offset", 0)
 
         # §2.2: the monolithic kernel tracks no per-process CPU
         # footprint, so after write-protecting the parent's pages it
@@ -328,9 +339,16 @@ class MonolithicOS(AbstractOS):
             from repro.errors import OutOfMemory
             raise OutOfMemory("mmap window exhausted")
         proc.mmap_offset = offset + size
+        vpns = []
         for index, frame in enumerate(shm.frames):
-            proc.space.map_page(base // page + index, frame,
-                                PagePerm.rwc(), incref=True)
+            vpn = base // page + index
+            proc.space.map_page(vpn, frame, PagePerm.rwc(), incref=True)
+            vpns.append(vpn)
+        if not hasattr(proc, "shm_vpns"):
+            proc.shm_vpns = set()
+            proc.shm_bindings = []
+        proc.shm_vpns.update(vpns)
+        proc.shm_bindings.append((base - window_base, shm))
         return (
             self.kernel_root
             .set_bounds(base, size)

@@ -26,6 +26,7 @@ from repro.chaos.engine import (
     ChaosEngine,
     FaultMix,
     NullChaos,
+    deterministic_draw,
 )
 from repro.chaos.faults import (
     INJECTION_POINTS,
@@ -66,6 +67,7 @@ __all__ = [
     "SCHEMA",
     "Transaction",
     "check_point_name",
+    "deterministic_draw",
     "is_retriable_injection",
     "register_point",
     "retry_syscall",

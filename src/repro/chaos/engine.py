@@ -53,6 +53,14 @@ def _draw(seed: int, point: str, index: int) -> float:
     return int.from_bytes(digest, "big") / 2 ** 64
 
 
+def deterministic_draw(seed: int, point: str, index: int = 0) -> float:
+    """The engine's keyed-hash draw, exposed for other deterministic
+    machinery (the conformance explorer orders its schedule frontier
+    with it): a pure function of ``(seed, point, index)``, uniform in
+    [0, 1), stable across platforms and Python versions."""
+    return _draw(seed, point, index)
+
+
 class FaultMix:
     """Per-point firing rates: ``pattern=rate`` pairs.
 

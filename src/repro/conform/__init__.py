@@ -1,0 +1,48 @@
+"""repro.conform — differential POSIX conformance + interleaving explorer.
+
+The simulated kernel claims POSIX fork semantics; this package checks
+that claim two ways:
+
+* **Differentially**: every scenario in :mod:`repro.conform.scenarios`
+  runs on the simulated kernel under all four fork strategies
+  (monolithic / full / coa / copa) at 1, 2 and 4 CPUs *and* on the real
+  host kernel (``os.fork`` in a sandboxed subprocess), and the logical
+  traces must match.
+* **Exhaustively (bounded)**: :mod:`repro.conform.explorer` replays
+  each scenario under hundreds of permuted scheduler decision
+  sequences, asserting kernel invariants (no leaked frames, PTEs, pids
+  or fds; tag validity; refcount consistency) at every preemption
+  point, with sleep-set pruning to skip equivalent interleavings.
+
+``python -m repro.harness conform`` drives both and emits a
+``repro.conform/v1`` JSON report plus a ``repro.obs`` sidecar.  Every
+run is deterministic from its seed; a violation is reported as the
+(seed, schedule) pair that replays it.
+
+This package root stays import-light (DSL only); the executors pull in
+the OS stack lazily.
+"""
+
+from repro.conform.dsl import (
+    READ_END,
+    SIG_NAMES,
+    WRITE_END,
+    Scenario,
+    diff_traces,
+    normalize_trace,
+    trace_sha256,
+)
+
+#: schema tag of the report ``python -m repro.harness conform`` writes
+SCHEMA = "repro.conform/v1"
+
+__all__ = [
+    "READ_END",
+    "SCHEMA",
+    "SIG_NAMES",
+    "Scenario",
+    "WRITE_END",
+    "diff_traces",
+    "normalize_trace",
+    "trace_sha256",
+]

@@ -1,0 +1,197 @@
+"""Bounded interleaving explorer for conformance scenarios.
+
+Replays one scenario under systematically permuted scheduler decisions,
+asserting the kernel invariants of :mod:`repro.conform.invariants` at
+every preemption point of every schedule.
+
+A *schedule* is a sparse map ``{decision_point: choice_index}`` of
+deviations from the canonical newest-first policy; every unlisted
+point takes choice 0.  Exploration is depth-bounded (at most
+``depth_bound`` deviations per schedule) and canonical: a schedule is
+only extended at points strictly after its last deviation, so each
+deviation set is generated exactly once.  Sleep-set pruning drops a
+deviation when the op it would run and the op the canonical choice
+would run have disjoint static footprints (:meth:`Scenario.op_footprint`)
+— swapping two commuting ops cannot reach a new state, and the swapped
+order is reachable via a later deviation anyway.
+
+Determinism: the frontier is prioritized with
+:func:`repro.chaos.deterministic_draw`, the same keyed-hash machinery
+the chaos engine replays faults with, so a violation reports the exact
+``(seed, schedule)`` pair that reproduces it — byte-identically, on
+any machine.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.chaos import deterministic_draw
+from repro.conform.dsl import Scenario, diff_traces
+from repro.conform.invariants import (
+    check_end_state,
+    check_invariants,
+    frame_baseline,
+)
+from repro.conform.simrun import ConformError, DeadlockError, run_sim
+
+Schedule = Dict[int, int]
+
+
+def _schedule_key(schedule: Schedule) -> Tuple[Tuple[int, int], ...]:
+    return tuple(sorted(schedule.items()))
+
+
+class _Watcher:
+    """on_step callback: invariants at every preemption point, stopping
+    at the first violation (the kernel state is already broken; later
+    checks would only echo it)."""
+
+    def __init__(self, os_: Any) -> None:
+        self.os_ = os_
+        self.violations: List[str] = []
+        self.steps = 0
+
+    def __call__(self, os_: Any, run: Any) -> None:
+        self.steps += 1
+        if not self.violations:
+            self.violations = check_invariants(self.os_)
+
+
+def _run_schedule(scenario: Scenario, strategy: str, num_cpus: int,
+                  seed: int, schedule: Schedule
+                  ) -> Tuple[Optional[Dict[str, Any]], Dict[str, Any],
+                             List[Dict[str, Any]]]:
+    """Execute one schedule; returns (trace|None, meta, violations)."""
+    violations: List[Dict[str, Any]] = []
+    watcher: Optional[_Watcher] = None
+    baseline = None
+
+    def decision(point: int, offered: List[Tuple[str, Any]]) -> int:
+        return schedule.get(point, 0)
+
+    # run_sim boots inside, so capture the os via the first on_step call
+    def on_step(os_: Any, run: Any) -> None:
+        nonlocal watcher, baseline
+        if watcher is None:
+            watcher = _Watcher(os_)
+            baseline = frame_baseline(os_)
+        watcher(os_, run)
+
+    def record(kind: str, detail: str) -> None:
+        violations.append({
+            "kind": kind,
+            "detail": detail,
+            "seed": seed,
+            "schedule": {str(k): v for k, v in sorted(schedule.items())},
+        })
+
+    try:
+        trace, meta = run_sim(scenario, strategy=strategy,
+                              num_cpus=num_cpus, seed=seed,
+                              decision=decision, on_step=on_step)
+    except DeadlockError as exc:
+        record("deadlock", str(exc))
+        return None, {"points": []}, violations
+    except ConformError as exc:
+        record("scenario-error", str(exc))
+        return None, {"points": []}, violations
+
+    if watcher is not None and watcher.violations:
+        for detail in watcher.violations:
+            record("invariant", detail)
+    os_ = meta["os"]
+    for detail in check_invariants(os_):
+        record("invariant", f"end: {detail}")
+    if baseline is not None:
+        # every scenario process has exited by now; memory must be
+        # back to the (post-boot, pre-fork) baseline captured at the
+        # first preemption point
+        for detail in check_end_state(os_, baseline):
+            record("leak", detail)
+    return trace, meta, violations
+
+
+def explore(scenario: Scenario, strategy: str = "copa", num_cpus: int = 2,
+            seed: int = 0, depth_bound: int = 3, budget: int = 600
+            ) -> Dict[str, Any]:
+    """Explore up to ``budget`` distinct schedules of one scenario.
+
+    Returns a JSON-ready summary: schedules run, prunes, the decision-
+    point count of the canonical run, and every violation found —
+    each with the (seed, schedule) pair that replays it.
+    """
+    result: Dict[str, Any] = {
+        "scenario": scenario.name,
+        "strategy": strategy,
+        "num_cpus": num_cpus,
+        "seed": seed,
+        "depth_bound": depth_bound,
+        "budget": budget,
+        "schedules": 0,
+        "pruned": 0,
+        "violations": [],
+    }
+
+    base_trace, base_meta, base_violations = _run_schedule(
+        scenario, strategy, num_cpus, seed, {})
+    result["schedules"] = 1
+    result["violations"].extend(base_violations)
+    result["decision_points"] = len(base_meta["points"])
+
+    seen = {_schedule_key({})}
+    #: (priority, tiebreak, schedule, points-of-generating-run)
+    frontier: List[Tuple[float, int, Schedule, List[Any]]] = []
+    counter = 0
+
+    def push_extensions(schedule: Schedule, points: List[Any]) -> None:
+        nonlocal counter
+        if len(schedule) >= depth_bound:
+            return
+        last = max(schedule) if schedule else -1
+        for index in range(last + 1, len(points)):
+            offered = points[index]
+            canonical_op = offered[0][1]
+            for choice in range(1, len(offered)):
+                if scenario.ops_independent(offered[choice][1],
+                                            canonical_op):
+                    # commuting ops: the swapped order is reachable via
+                    # a later deviation; skip this branch entirely
+                    result["pruned"] += 1
+                    continue
+                extended = dict(schedule)
+                extended[index] = choice
+                key = _schedule_key(extended)
+                if key in seen:
+                    continue
+                seen.add(key)
+                counter += 1
+                priority = deterministic_draw(
+                    seed, f"conform.explore.{scenario.name}", counter)
+                heapq.heappush(frontier,
+                               (priority, counter, extended, []))
+
+    push_extensions({}, base_meta["points"])
+
+    while frontier and result["schedules"] < budget:
+        _prio, _tie, schedule, _ = heapq.heappop(frontier)
+        trace, meta, violations = _run_schedule(
+            scenario, strategy, num_cpus, seed, schedule)
+        result["schedules"] += 1
+        result["violations"].extend(violations)
+        if trace is not None and scenario.schedule_invariant \
+                and base_trace is not None:
+            diffs = diff_traces(trace, base_trace)
+            if diffs:
+                result["violations"].append({
+                    "kind": "schedule-divergence",
+                    "detail": "; ".join(diffs[:5]),
+                    "seed": seed,
+                    "schedule": {str(k): v
+                                 for k, v in sorted(schedule.items())},
+                })
+        push_extensions(schedule, meta["points"])
+
+    result["frontier_left"] = len(frontier)
+    return result

@@ -1,0 +1,78 @@
+"""Launch the host-POSIX oracle in a sandboxed subprocess.
+
+The oracle (:mod:`repro.conform.hostrun`) forks real processes, so it
+runs isolated the way ``pytest-isolated`` does it: its own session
+(``start_new_session=True`` → fresh process group), a hard wall-clock
+timeout, and ``killpg(SIGKILL)`` + reaping on overrun so a wedged
+scenario can never leak orphans into the test run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from typing import Any, Dict
+
+from repro.conform.dsl import Scenario
+
+#: wall-clock budget for one scenario; generous — a healthy run is
+#: milliseconds, so hitting this means a deadlock or lost process
+DEFAULT_TIMEOUT = 20.0
+
+_HOSTRUN = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "hostrun.py")
+
+
+class HostOracleError(RuntimeError):
+    """The host oracle failed to produce a trace (crash or timeout)."""
+
+
+def _kill_group(proc: "subprocess.Popen[str]") -> None:
+    # start_new_session made proc the leader of its own process group,
+    # so this reaches every scenario descendant even after reparenting
+    try:
+        os.killpg(proc.pid, signal.SIGKILL)
+    except (ProcessLookupError, PermissionError):
+        pass
+
+
+def run_host(scenario: Scenario,
+             timeout: float = DEFAULT_TIMEOUT) -> Dict[str, Any]:
+    """Execute *scenario* on the real host kernel; return its raw
+    logical trace (same shape :func:`repro.conform.simrun.run_sim`
+    returns, ready for :func:`repro.conform.dsl.diff_traces`)."""
+    payload = json.dumps({"scenario": scenario.to_json(),
+                          "timeout": int(timeout)})
+    proc = subprocess.Popen(
+        [sys.executable, _HOSTRUN],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        start_new_session=True,
+        text=True,
+    )
+    try:
+        out, err = proc.communicate(payload, timeout=timeout)
+    except subprocess.TimeoutExpired:
+        _kill_group(proc)
+        _out, err = proc.communicate()
+        raise HostOracleError(
+            f"host oracle timed out after {timeout:g}s on scenario "
+            f"{scenario.name!r}; stderr tail: {err[-500:]!r}")
+    except BaseException:
+        _kill_group(proc)
+        proc.wait()
+        raise
+    if proc.returncode != 0:
+        raise HostOracleError(
+            f"host oracle exited {proc.returncode} on scenario "
+            f"{scenario.name!r}; stderr tail: {err[-500:]!r}")
+    try:
+        return json.loads(out)
+    except ValueError as exc:
+        raise HostOracleError(
+            f"host oracle produced unparseable output on scenario "
+            f"{scenario.name!r}: {exc}; stdout tail: {out[-500:]!r}")

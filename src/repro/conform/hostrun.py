@@ -1,0 +1,292 @@
+"""The real-POSIX oracle: execute a conformance scenario on the host.
+
+Run as a *standalone script* (``python .../hostrun.py``) in a sandboxed
+subprocess — deliberately stdlib-only, with no ``repro`` import, so the
+oracle shares no code with the kernel under test beyond the scenario
+JSON format.  Reads ``{"scenario": ..., "timeout": ...}`` on stdin,
+executes the scenario with genuine ``os.fork`` / ``os.pipe`` /
+``os.dup2`` / ``os.waitpid`` / ``signal`` / ``mmap`` calls, and prints
+the logical trace JSON on stdout.
+
+Execution is *serialized*: every fork hands the CPU to the child until
+the child's whole subtree has exited (the parent blocks on a sync pipe
+whose write end only closes then).  This matches the simulator's
+default newest-first schedule, making traces of race-free scenarios
+directly comparable, at the cost of forbidding scenarios where a child
+depends on parent actions *after* the fork (docs/CONFORMANCE.md lists
+the full caveat set).
+
+Observable outputs only: labels instead of pids, fd tags instead of fd
+numbers, errno names instead of numbers.  Events stream to a collector
+pipe one JSON line at a time, so a process killed mid-body still
+contributes everything it observed before dying — exactly like the
+simulator's incremental trace.
+"""
+
+import errno
+import json
+import mmap
+import os
+import signal
+import struct
+import sys
+
+SIGS = {
+    "TERM": signal.SIGTERM,
+    "USR1": signal.SIGUSR1,
+    "USR2": signal.SIGUSR2,
+    "CHLD": signal.SIGCHLD,
+    "KILL": signal.SIGKILL,
+}
+SIG_NAMES = {num: name for name, num in SIGS.items()}
+
+READ_END = ".r"
+WRITE_END = ".w"
+
+#: per-process signal-delivery counters ("count" disposition); fork
+#: copies process memory, so children inherit the values at fork — the
+#: same semantics the simulator models
+COUNTS = {}
+
+
+def errno_name(err: int) -> str:
+    return errno.errorcode.get(err, f"E{err}")
+
+
+def decode_status(raw: int):
+    if os.WIFSIGNALED(raw):
+        num = os.WTERMSIG(raw)
+        return ["signal", SIG_NAMES.get(num, str(num))]
+    return ["exit", os.WEXITSTATUS(raw)]
+
+
+class Runner:
+    """Scenario interpreter state for one (forked) process."""
+
+    def __init__(self, bodies, shm_vars, shm, event_fd):
+        self.bodies = bodies
+        self.shm_vars = shm_vars
+        self.shm = shm
+        self.event_fd = event_fd
+        self.label = "main"
+        self.parent_pid = None
+        self.fdmap = {}
+        self.heap = {}
+        self.children = {}
+        self.fork_counts = {}
+
+    # -- trace plumbing -------------------------------------------------
+
+    def emit(self, *event):
+        line = json.dumps({"l": self.label, "e": list(event)}) + "\n"
+        os.write(self.event_fd, line.encode())
+
+    def err(self, op, exc):
+        self.emit("err", op, errno_name(exc.errno))
+
+    def fd(self, tag, op):
+        fd = self.fdmap[tag]
+        if fd < 0:
+            self.emit("err", op, "EBADF")
+            return None
+        return fd
+
+    # -- the body loop --------------------------------------------------
+
+    def run_body(self, body):
+        for op in self.bodies[body]:
+            self.op(op)
+        os._exit(0)
+
+    def op(self, op):
+        getattr(self, "op_" + op[0])(*op[1:])
+
+    # -- op handlers ----------------------------------------------------
+
+    def op_pipe(self, name):
+        read_fd, write_fd = os.pipe()
+        self.fdmap[name + READ_END] = read_fd
+        self.fdmap[name + WRITE_END] = write_fd
+
+    def op_write(self, tag, text):
+        fd = self.fd(tag, "write")
+        if fd is None:
+            return
+        data = text.encode("latin-1")
+        sent = 0
+        try:
+            while sent < len(data):
+                sent += os.write(fd, data[sent:])
+        except OSError as exc:
+            self.err("write", exc)
+            return
+        self.emit("write", tag, len(data))
+
+    def op_read(self, tag, n):
+        fd = self.fd(tag, "read")
+        if fd is None:
+            return
+        buf = bytearray()
+        try:
+            while len(buf) < n:
+                chunk = os.read(fd, n - len(buf))
+                if not chunk:
+                    break  # EOF
+                buf += chunk
+        except OSError as exc:
+            self.err("read", exc)
+            return
+        self.emit("read", tag, bytes(buf).decode("latin-1"))
+
+    def op_close(self, tag):
+        fd = self.fd(tag, "close")
+        if fd is None:
+            return
+        try:
+            os.close(fd)
+        except OSError as exc:
+            self.err("close", exc)
+            return
+        self.fdmap[tag] = -1
+
+    def op_dup2(self, src, dst):
+        src_fd = self.fd(src, "dup2")
+        if src_fd is None:
+            return
+        dst_fd = self.fdmap.get(dst, -1)
+        try:
+            if dst_fd >= 0:
+                os.dup2(src_fd, dst_fd)
+                self.fdmap[dst] = dst_fd
+            else:
+                # fresh logical slot: dup2 into a free descriptor
+                self.fdmap[dst] = os.dup(src_fd)
+        except OSError as exc:
+            self.err("dup2", exc)
+
+    def op_fork(self, body):
+        count = self.fork_counts.get(body, 0) + 1
+        self.fork_counts[body] = count
+        ref = f"{body}{count}"
+        my_pid = os.getpid()
+        sync_r, sync_w = os.pipe()
+        pid = os.fork()
+        if pid == 0:
+            os.close(sync_r)
+            # keep sync_w open (and inherited by grandchildren): the
+            # parent resumes only when this whole subtree has exited
+            self.label = f"{self.label}/{ref}"
+            self.parent_pid = my_pid
+            self.children = {}
+            self.fork_counts = {}
+            self.run_body(body)  # never returns
+        os.close(sync_w)
+        while os.read(sync_r, 1):
+            pass  # drain until subtree-exit EOF (never written to)
+        os.close(sync_r)
+        self.children[ref] = pid
+
+    def op_exit(self, status):
+        os._exit(status)
+
+    def op_wait(self, ref):
+        pid = -1 if ref is None else self.children[ref]
+        try:
+            _pid, raw = os.waitpid(pid, 0)
+        except ChildProcessError:
+            self.emit("err", "wait", "ECHILD")
+            return
+        pair = decode_status(raw)
+        self.emit("wait", ref or "any", pair[0], pair[1])
+
+    def op_heap_set(self, var, value):
+        self.heap[var] = value
+
+    def op_heap_get(self, var):
+        self.emit("heap", var, self.heap[var])
+
+    def _shm_off(self, var):
+        return self.shm_vars.index(var) * 8
+
+    def op_shm_set(self, var, value):
+        off = self._shm_off(var)
+        self.shm[off:off + 8] = struct.pack("<Q", value)
+
+    def op_shm_get(self, var):
+        off = self._shm_off(var)
+        value = struct.unpack("<Q", self.shm[off:off + 8])[0]
+        self.emit("shm", var, value)
+
+    def op_signal(self, sig, action):
+        num = SIGS[sig]
+        if action == "ignore":
+            signal.signal(num, signal.SIG_IGN)
+        elif action == "default":
+            signal.signal(num, signal.SIG_DFL)
+        else:  # count
+            def handler(signum, frame, _name=sig):
+                COUNTS[_name] = COUNTS.get(_name, 0) + 1
+            signal.signal(num, handler)
+
+    def op_kill(self, target, sig):
+        if target == "self":
+            pid = os.getpid()
+        elif target == "parent":
+            pid = self.parent_pid
+        else:
+            pid = self.children[target]
+        try:
+            os.kill(pid, SIGS[sig])
+        except ProcessLookupError:
+            self.emit("err", "kill", "ESRCH")
+
+    def op_sig_count(self, sig):
+        self.emit("sig_count", sig, COUNTS.get(sig, 0))
+
+
+def main():
+    doc = json.load(sys.stdin)
+    scenario = doc["scenario"]
+    bodies = {body: [tuple(op) for op in ops]
+              for body, ops in scenario["bodies"].items()}
+    timeout = int(doc.get("timeout", 20))
+    shm_vars = sorted({op[1] for ops in bodies.values() for op in ops
+                       if op[0] in ("shm_set", "shm_get")})
+
+    # SIGPIPE surfaces as EPIPE (the simulator has no SIGPIPE); the
+    # disposition is inherited by every scenario process
+    signal.signal(signal.SIGPIPE, signal.SIG_IGN)
+    # in-process backstop; the launching side's killpg is the real one
+    signal.alarm(timeout + 5)
+
+    shm = mmap.mmap(-1, 4096) if shm_vars else None
+    event_r, event_w = os.pipe()
+    root = os.fork()
+    if root == 0:
+        os.close(event_r)
+        os.close(1)  # scenario processes never touch our stdout
+        runner = Runner(bodies, shm_vars, shm, event_w)
+        runner.run_body("main")  # never returns
+    os.close(event_w)
+
+    chunks = []
+    while True:
+        chunk = os.read(event_r, 65536)
+        if not chunk:
+            break
+        chunks.append(chunk)
+    os.close(event_r)
+    _pid, raw = os.waitpid(root, 0)
+
+    procs = {"main": []}
+    for line in b"".join(chunks).splitlines():
+        record = json.loads(line)
+        procs.setdefault(record["l"], []).append(record["e"])
+    trace = {"procs": procs, "status": {"main": decode_status(raw)}}
+    json.dump(trace, sys.stdout, sort_keys=True)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

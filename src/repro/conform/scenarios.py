@@ -1,0 +1,261 @@
+"""The conformance scenario corpus.
+
+Every scenario here runs on the simulated kernel under all four fork
+strategies at 1/2/4 CPUs *and* on the real host kernel, and the traces
+must match (tests/test_conform_scenarios.py); the interleaving
+explorer additionally replays each under permuted schedules.
+
+Corpus rules (why every scenario is schedule-comparable to the
+serialized host oracle — docs/CONFORMANCE.md explains each):
+
+* a child never depends on anything its parent does *after* the fork
+  (the oracle runs the child subtree to completion first);
+* exit statuses stay in 0..127 (≥128 encodes signal death);
+* payloads are small (well under pipe capacity and the guest staging
+  buffer) and fork depth stays ≤ 3;
+* a cross-process kill whose victim's event count depends on timing
+  marks the scenario ``schedule_invariant=False`` so the explorer
+  checks invariants but not trace equality across schedules.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.conform.dsl import (
+    Scenario,
+    close,
+    dup2,
+    exit_,
+    fork,
+    heap_get,
+    heap_set,
+    kill,
+    pipe,
+    rd,
+    shm_get,
+    shm_set,
+    sig_count,
+    signal_,
+    wait,
+    wr,
+)
+
+
+def corpus() -> List[Scenario]:
+    """Every conformance scenario, in a stable order."""
+    scenarios = [
+        # -- pipes and fd plumbing --------------------------------------
+        Scenario("pipe-hello", {
+            "main": (pipe("p"), fork("w"), close("p.w"), rd("p.r", 5),
+                     wait("w1"), exit_(0)),
+            "w": (close("p.r"), wr("p.w", "hello"), exit_(7)),
+        }),
+        Scenario("pipe-eof-short-read", {
+            "main": (pipe("p"), fork("w"), close("p.w"), rd("p.r", 10),
+                     wait("w1")),
+            "w": (wr("p.w", "abc"), close("p.w"), exit_(0)),
+        }),
+        Scenario("pipe-two-reads", {
+            "main": (pipe("p"), fork("w"), rd("p.r", 1), rd("p.r", 1),
+                     wait("w1"), exit_(2)),
+            "w": (wr("p.w", "xy"), exit_(0)),
+        }),
+        Scenario("pipe-two-children", {
+            "main": (pipe("a"), pipe("b"), fork("wa"), fork("wb"),
+                     close("a.w"), close("b.w"), rd("a.r", 4),
+                     rd("b.r", 4), wait("wa1"), wait("wb1"), exit_(0)),
+            "wa": (close("a.r"), wr("a.w", "aaaa"), heap_set("t", 1),
+                   exit_(10)),
+            "wb": (close("b.r"), wr("b.w", "bbbb"), heap_set("t", 2),
+                   exit_(11)),
+        }),
+        Scenario("pipe-grandchild", {
+            "main": (pipe("p"), fork("c"), close("p.w"), rd("p.r", 4),
+                     wait("c1"), exit_(0)),
+            "c": (fork("g"), wait("g1"), wr("p.w", "up"), exit_(1)),
+            "g": (wr("p.w", "go"), exit_(2)),
+        }),
+        Scenario("pipe-child-closes-copy", {
+            # fd tables are per-process: the child closing its p.r does
+            # not close the parent's
+            "main": (pipe("p"), fork("w"), rd("p.r", 1), wait("w1"),
+                     exit_(0)),
+            "w": (close("p.r"), wr("p.w", "z"), exit_(0)),
+        }),
+        Scenario("pipe-epipe", {
+            "main": (pipe("p"), close("p.r"), wr("p.w", "x"), exit_(0)),
+        }),
+        Scenario("pipe-eof-no-writers", {
+            "main": (pipe("p"), close("p.w"), rd("p.r", 4), exit_(0)),
+        }),
+        Scenario("fd-ebadf-after-close", {
+            "main": (pipe("p"), close("p.w"), wr("p.w", "x"), exit_(0)),
+        }),
+        Scenario("fd-double-close", {
+            "main": (pipe("p"), close("p.r"), close("p.r"), exit_(0)),
+        }),
+        Scenario("fd-wrong-end-read", {
+            "main": (pipe("p"), rd("p.w", 1), wr("p.r", "x"), exit_(0)),
+        }),
+        # -- dup2 -------------------------------------------------------
+        Scenario("dup2-alias", {
+            "main": (pipe("p"), dup2("p.w", "w2"), close("p.w"),
+                     wr("w2", "abc"), close("w2"), rd("p.r", 3),
+                     exit_(1)),
+        }),
+        Scenario("dup2-closes-target", {
+            # dup2 onto q.w closes q's only writer, so q.r hits EOF
+            "main": (pipe("p"), pipe("q"), dup2("p.w", "q.w"),
+                     wr("q.w", "hi"), rd("p.r", 2), rd("q.r", 1),
+                     exit_(0)),
+        }),
+        Scenario("dup2-self", {
+            "main": (pipe("p"), dup2("p.w", "p.w"), wr("p.w", "ok"),
+                     rd("p.r", 2), exit_(0)),
+        }),
+        Scenario("dup2-inherited", {
+            "main": (pipe("p"), dup2("p.w", "w2"), fork("c"),
+                     close("p.w"), close("w2"), rd("p.r", 3),
+                     wait("c1"), exit_(0)),
+            "c": (wr("w2", "dup"), exit_(4)),
+        }),
+        # -- private heap (fork isolation) ------------------------------
+        Scenario("heap-child-private", {
+            "main": (heap_set("x", 1), fork("c"), wait("c1"),
+                     heap_get("x"), exit_(0)),
+            "c": (heap_set("x", 2), heap_get("x"), exit_(0)),
+        }),
+        Scenario("heap-parent-private", {
+            # parent mutates after fork; child's inherited copy is
+            # unaffected — but the child only reads its *own* snapshot
+            "main": (heap_set("x", 5), fork("c"), heap_set("x", 6),
+                     wait("c1"), heap_get("x"), exit_(0)),
+            "c": (heap_get("x"), exit_(0)),
+        }),
+        Scenario("heap-many-cells", {
+            "main": (heap_set("a", 1), heap_set("b", 2), heap_set("c", 3),
+                     fork("k"), wait("k1"), heap_get("a"), heap_get("b"),
+                     heap_get("c"), exit_(0)),
+            "k": (heap_get("a"), heap_set("b", 20), heap_get("b"),
+                  heap_get("c"), exit_(9)),
+        }),
+        Scenario("heap-deep-chain", {
+            "main": (heap_set("x", 1), fork("a"), wait("a1"),
+                     heap_get("x"), exit_(0)),
+            "a": (heap_set("x", 2), fork("b"), wait("b1"), heap_get("x"),
+                  exit_(3)),
+            "b": (heap_set("x", 3), heap_get("x"), exit_(4)),
+        }),
+        # -- MAP_SHARED memory ------------------------------------------
+        Scenario("shm-survives-fork", {
+            "main": (shm_set("v", 10), fork("c"), wait("c1"),
+                     shm_get("v"), exit_(0)),
+            "c": (shm_set("v", 42), exit_(3)),
+        }),
+        Scenario("shm-two-vars", {
+            "main": (shm_set("a", 1), fork("c"), wait("c1"), shm_get("a"),
+                     shm_get("b"), exit_(0)),
+            "c": (shm_get("a"), shm_set("b", 7), exit_(0)),
+        }),
+        Scenario("shm-vs-heap", {
+            # same var name, different worlds: the heap copy forks
+            # private, the shm cell stays shared
+            "main": (heap_set("v", 1), shm_set("v", 1), fork("c"),
+                     wait("c1"), heap_get("v"), shm_get("v"), exit_(0)),
+            "c": (heap_set("v", 2), shm_set("v", 2), exit_(0)),
+        }),
+        # -- wait semantics ---------------------------------------------
+        Scenario("wait-exit-status", {
+            "main": (fork("c"), wait("c1"), exit_(0)),
+            "c": (exit_(42),),
+        }),
+        Scenario("wait-any-two", {
+            "main": (fork("a"), fork("b"), wait(None), wait(None),
+                     exit_(0)),
+            "a": (exit_(21),),
+            "b": (exit_(22),),
+        }),
+        Scenario("wait-echild", {
+            "main": (wait(None), exit_(0)),
+        }),
+        Scenario("wait-echild-after-reap", {
+            "main": (fork("c"), wait("c1"), wait(None), exit_(0)),
+            "c": (exit_(1),),
+        }),
+        Scenario("exit-implicit-and-127", {
+            "main": (fork("c"), wait("c1"), fork("d"), wait("d1")),
+            "c": (heap_set("x", 1),),          # implicit exit(0)
+            "d": (exit_(127),),
+        }),
+        # -- signals ----------------------------------------------------
+        Scenario("signal-count-from-child", {
+            "main": (signal_("USR1", "count"), fork("c"), wait("c1"),
+                     sig_count("USR1"), exit_(0)),
+            "c": (kill("parent", "USR1"), exit_(0)),
+        }),
+        Scenario("signal-two-kinds", {
+            "main": (signal_("USR1", "count"), signal_("USR2", "count"),
+                     fork("c"), wait("c1"), sig_count("USR1"),
+                     sig_count("USR2"), exit_(0)),
+            "c": (kill("parent", "USR1"), kill("parent", "USR2"),
+                  exit_(0)),
+        }),
+        Scenario("signal-ignored", {
+            "main": (signal_("USR1", "ignore"), fork("c"), wait("c1"),
+                     exit_(6)),
+            "c": (kill("parent", "USR1"), exit_(0)),
+        }),
+        Scenario("signal-handlers-inherited", {
+            # dispositions cross fork: the child's counter starts at the
+            # value inherited at fork (0) and counts its own deliveries
+            "main": (signal_("USR1", "count"), fork("c"), wait("c1"),
+                     sig_count("USR1"), exit_(0)),
+            "c": (kill("self", "USR1"), sig_count("USR1"), exit_(0)),
+        }),
+        Scenario("signal-default-terminates", {
+            "main": (fork("v"), wait("v1"), exit_(0)),
+            "v": (kill("self", "USR2"),),
+        }),
+        Scenario("signal-term-child", {
+            "main": (fork("v"), wait("v1"), exit_(0)),
+            "v": (heap_set("x", 1), kill("self", "TERM")),
+        }),
+        Scenario("sigkill-uncatchable", {
+            "main": (fork("v"), wait("v1"), exit_(0)),
+            "v": (kill("self", "KILL"), heap_set("never", 1)),
+        }),
+        Scenario("sigchld-discarded", {
+            "main": (fork("c"), wait("c1"), sig_count("CHLD"), exit_(0)),
+            "c": (exit_(0),),
+        }, schedule_invariant=True),
+        Scenario("contended-pipe", {
+            # three writers share one pipe: every interleaving conflicts
+            # (same footprint), so the explorer prunes nothing — yet the
+            # trace is schedule-invariant because the payloads are
+            # identical and wait-any order is normalized
+            "main": (pipe("p"), fork("w"), fork("w"), fork("w"),
+                     close("p.w"), rd("p.r", 15), wait(None), wait(None),
+                     wait(None), exit_(0)),
+            "w": (wr("p.w", "x"), wr("p.w", "x"), wr("p.w", "x"),
+                  wr("p.w", "x"), wr("p.w", "x"), exit_(0)),
+        }),
+        # -- the kitchen sink (explorer fodder) -------------------------
+        Scenario("mixed-pipeline", {
+            "main": (pipe("p"), shm_set("s", 1), heap_set("h", 1),
+                     signal_("USR1", "count"), fork("c"), close("p.w"),
+                     rd("p.r", 6), wait("c1"), sig_count("USR1"),
+                     shm_get("s"), heap_get("h"), exit_(0)),
+            "c": (close("p.r"), heap_set("h", 2), shm_set("s", 2),
+                  wr("p.w", "mixed!"), kill("parent", "USR1"),
+                  exit_(5)),
+        }),
+    ]
+    return scenarios
+
+
+def by_name(name: str) -> Scenario:
+    for scenario in corpus():
+        if scenario.name == name:
+            return scenario
+    raise KeyError(f"no conformance scenario named {name!r}")

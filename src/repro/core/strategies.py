@@ -198,3 +198,16 @@ def resolve_all_pending(space: AddressSpace, region_base: int,
         machine.obs.count("core.strategies.resolved_pending_pages",
                           resolved)
     return resolved
+
+
+def iter_share_notes(space: AddressSpace):
+    """Yield ``(vpn, pte, note)`` for every still-shared page.
+
+    Audit hook for the conformance invariants: a consistent kernel
+    never leaves a :class:`ShareNote` whose frame has been freed, whose
+    role is unknown, or whose restored permissions would be *narrower*
+    than the current ones (sharing only ever removes permissions).
+    """
+    for vpn, pte in space.page_table.entries():
+        if isinstance(pte.note, ShareNote):
+            yield vpn, pte, pte.note

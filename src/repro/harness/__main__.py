@@ -50,11 +50,13 @@ def main(argv=None) -> int:
         description="Regenerate the μFork paper's tables and figures."
     )
     parser.add_argument("command", nargs="?", default=None,
-                        choices=["obs-report", "chaos", "smp"],
+                        choices=["obs-report", "chaos", "smp", "conform"],
                         help="optional subcommand: obs-report prints a "
                              "hierarchical fork-cost profile; chaos runs "
                              "the fault-injection workload (docs/CHAOS.md); "
-                             "smp runs a multi-core workload (docs/SMP.md)")
+                             "smp runs a multi-core workload (docs/SMP.md); "
+                             "conform runs the differential POSIX "
+                             "conformance suite (docs/CONFORMANCE.md)")
     parser.add_argument("--full", action="store_true",
                         help="run the paper-scale 100 KB-100 MB sweep")
     parser.add_argument("--only", metavar="NAME", default=None,
@@ -81,6 +83,21 @@ def main(argv=None) -> int:
     parser.add_argument("--workload", default="faas",
                         choices=["faas", "nginx", "forkbench"],
                         help="(smp) which workload to drive")
+    parser.add_argument("--depth-bound", type=int, default=3,
+                        help="(conform) max schedule deviations per "
+                             "explored interleaving")
+    parser.add_argument("--budget", type=int, default=600,
+                        help="(conform) max schedules explored per "
+                             "scenario")
+    parser.add_argument("--strategies", metavar="LIST", default=None,
+                        help="(conform) comma-separated fork strategies "
+                             "(default: monolithic,full,coa,copa)")
+    parser.add_argument("--scenario", action="append", default=None,
+                        help="(conform) run only this scenario "
+                             "(repeatable)")
+    parser.add_argument("--no-host", action="store_true",
+                        help="(conform) skip the host-POSIX oracle and "
+                             "diff strategies against each other")
     args = parser.parse_args(argv)
 
     if args.command == "obs-report":
@@ -98,6 +115,29 @@ def main(argv=None) -> int:
             print(f"[sidecars: {args.obs_dir}/chaos-{args.seed}"
                   f".obs.json + .chaos.json]")
         return 0
+
+    if args.command == "conform":
+        from repro.conform.runner import (
+            DEFAULT_CPUS,
+            format_summary,
+            run_conform,
+        )
+        from repro.conform.simrun import STRATEGIES
+        strategies = (args.strategies.split(",") if args.strategies
+                      else list(STRATEGIES))
+        cpus = [args.cpus] if args.cpus is not None else list(DEFAULT_CPUS)
+        report = run_conform(seed=args.seed, cpus=cpus,
+                             strategies=strategies,
+                             depth_bound=args.depth_bound,
+                             budget=args.budget,
+                             scenario_names=args.scenario,
+                             host=not args.no_host,
+                             obs_dir=args.obs_dir)
+        print(format_summary(report))
+        if args.obs_dir:
+            print(f"[sidecars: {args.obs_dir}/conform-{args.seed}"
+                  f".obs.json + .conform.json]")
+        return 0 if report["verdict"] == "conformant" else 1
 
     if args.command == "smp":
         from repro.smp.runner import DEFAULT_SWEEP, format_summary, run_smp

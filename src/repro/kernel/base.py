@@ -65,6 +65,7 @@ class AbstractOS(abc.ABC):
         self.sched = make_scheduler(self.machine, same_address_space)
         self._mqueues: Dict[str, MessageQueue] = {}
         self._shm: Dict[str, SharedMemoryObject] = {}
+        self.machine.register_kernel(self)
 
     # ------------------------------------------------------------------
     # OS-specific operations
@@ -125,12 +126,22 @@ class AbstractOS(abc.ABC):
             if not proc.alive:
                 raise NoSuchProcess(f"process {proc.pid} was terminated")
             chaos = self.machine.chaos
-            if chaos.enabled:
-                if chaos.should_fire("kernel.sched.preempt"):
-                    self.sched.yield_current()
-                return retry_syscall(self.machine,
-                                     lambda: handler(proc, *args))
-            return handler(proc, *args)
+            tap = self.machine.syscall_tap
+            try:
+                if chaos.enabled:
+                    if chaos.should_fire("kernel.sched.preempt"):
+                        self.sched.yield_current()
+                    result = retry_syscall(self.machine,
+                                           lambda: handler(proc, *args))
+                else:
+                    result = handler(proc, *args)
+            except Exception as exc:
+                if tap is not None:
+                    tap(self, proc, name, args, None, exc)
+                raise
+            if tap is not None:
+                tap(self, proc, name, args, result, None)
+            return result
 
     def _enter(self, proc: Process, name: str, nargs: int,
                buffers: Sequence[int] = ()) -> None:
@@ -173,6 +184,9 @@ class AbstractOS(abc.ABC):
                  size: int) -> int:
         self._enter(proc, "read", 3, buffers=(size,))
         desc = proc.fdtable.get(fd)
+        if not desc.readable:
+            from repro.errors import BadFileDescriptor
+            raise BadFileDescriptor(f"fd {fd} is not open for reading")
         data = desc.obj.read(desc, size)
         if data:
             self._write_user(proc, buf, data)
@@ -182,6 +196,9 @@ class AbstractOS(abc.ABC):
                   size: int) -> int:
         self._enter(proc, "write", 3, buffers=(size,))
         desc = proc.fdtable.get(fd)
+        if not desc.writable:
+            from repro.errors import BadFileDescriptor
+            raise BadFileDescriptor(f"fd {fd} is not open for writing")
         data = self._read_user(proc, buf, size)
         return desc.obj.write(desc, data)
 
@@ -194,6 +211,10 @@ class AbstractOS(abc.ABC):
     def sys_dup(self, proc: Process, fd: int) -> int:
         self._enter(proc, "dup", 1)
         return proc.fdtable.dup(fd)
+
+    def sys_dup2(self, proc: Process, oldfd: int, newfd: int) -> int:
+        self._enter(proc, "dup2", 2)
+        return proc.fdtable.dup2(oldfd, newfd)
 
     def sys_unlink(self, proc: Process, path: str) -> None:
         self._enter(proc, "unlink", 1)

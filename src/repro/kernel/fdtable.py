@@ -79,6 +79,24 @@ class FDTable:
         desc.incref()
         return self.install(desc)
 
+    def dup2(self, oldfd: int, newfd: int) -> int:
+        """POSIX dup2: make ``newfd`` refer to ``oldfd``'s description.
+
+        If ``newfd`` is open it is closed first (silently); if the two
+        are equal and ``oldfd`` is valid, this is a no-op returning
+        ``newfd`` — both per the spec."""
+        if newfd < 0:
+            raise BadFileDescriptor(f"bad target fd {newfd}")
+        desc = self.get(oldfd)
+        if oldfd == newfd:
+            return newfd
+        desc.incref()
+        previous = self._slots.pop(newfd, None)
+        if previous is not None:
+            previous.decref()
+        self._slots[newfd] = desc
+        return newfd
+
     def close_all(self) -> None:
         for fd in list(self._slots):
             self.close(fd)

@@ -40,6 +40,12 @@ class Scheduler:
         self._runnable: Deque[Task] = deque()
         self.current: Optional[Task] = None
         self.switches = 0
+        #: optional pluggable pick policy: a callable receiving the
+        #: runnable candidates (queue order) and returning the task to
+        #: dispatch, or ``None`` to keep the round-robin default.  The
+        #: conformance explorer installs one to permute scheduler
+        #: decisions deterministically (see :mod:`repro.conform`).
+        self.decision_source = None
 
     # -- queue management ----------------------------------------------------
 
@@ -105,13 +111,26 @@ class Scheduler:
         self.current = task
 
     def pick_next(self) -> Optional[Task]:
-        """Round-robin choice (does not switch)."""
+        """Round-robin choice (does not switch); a ``decision_source``
+        may override the head-of-queue pick among the runnable set."""
         while self._runnable:
             task = self._runnable[0]
             if task.state is TaskState.RUNNABLE:
-                return task
+                break
             self._runnable.popleft()
-        return None
+        if not self._runnable:
+            return None
+        if self.decision_source is not None:
+            candidates = [task for task in self._runnable
+                          if task.state is TaskState.RUNNABLE]
+            chosen = self.decision_source(candidates)
+            if chosen is not None:
+                return chosen
+        return self._runnable[0]
+
+    def queued_tasks(self) -> list:
+        """Every task currently sitting in the run queue (audit hook)."""
+        return list(self._runnable)
 
     def yield_current(self) -> Optional[Task]:
         """Voluntarily yield: switch to the next runnable task, if any."""

@@ -78,11 +78,16 @@ def send(os: Any, target: Any, signum: int) -> None:
     signal_state(target).pending.append(signum)
 
 
+#: signals whose POSIX default disposition is termination (SIGKILL is
+#: handled before queueing; SIGCHLD's default is to be discarded)
+_DEFAULT_TERMINATES = {SIGTERM, SIGUSR1, SIGUSR2}
+
+
 def deliver_pending(os: Any, proc: Any) -> List[int]:
     """Deliver queued signals; returns the signums acted upon.
 
-    Default dispositions: SIGTERM terminates (128+sig); SIGCHLD and the
-    user signals are ignored by default.
+    Default dispositions follow POSIX: SIGTERM, SIGUSR1 and SIGUSR2
+    terminate the process (status 128+sig); SIGCHLD is discarded.
     """
     state = signal_state(proc)
     delivered: List[int] = []
@@ -93,8 +98,8 @@ def deliver_pending(os: Any, proc: Any) -> List[int]:
         if handler == SIG_IGN:
             continue
         if handler == SIG_DFL:
-            if signum == SIGTERM:
-                os._exit_process(proc, 128 + SIGTERM)
+            if signum in _DEFAULT_TERMINATES:
+                os._exit_process(proc, 128 + signum)
             continue
         # user handler: charge a user/kernel transition and run it
         os.machine.charge(os.machine.costs.context_switch_sas_ns,

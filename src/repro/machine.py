@@ -10,8 +10,9 @@ runs hermetic and deterministic.
 from __future__ import annotations
 
 import random
+import weakref
 from dataclasses import replace
-from typing import Iterable, List, Optional
+from typing import Any, Callable, Iterable, List, Optional
 
 from repro.chaos.engine import NULL_CHAOS
 from repro.cheri.codec import CapabilityCodec
@@ -22,6 +23,16 @@ from repro.obs import Observability, session_adopt
 from repro.params import DEFAULT_COSTS, DEFAULT_MACHINE, CostModel, MachineConfig
 from repro.smp.ipi import IpiBus, tlb_shootdown
 from repro.smp.locks import KernelLocks
+
+#: every Machine constructed in this interpreter, weakly held — the
+#: test suite's leak fixture walks this to audit kernels created inside
+#: one test without threading the machine through every helper
+_LIVE_MACHINES: "weakref.WeakSet[Machine]" = weakref.WeakSet()
+
+
+def live_machines() -> List["Machine"]:
+    """The machines still alive in this interpreter (audit hook)."""
+    return list(_LIVE_MACHINES)
 
 
 class Machine:
@@ -70,6 +81,23 @@ class Machine:
         self.rng = random.Random(seed)
         #: optional structured-event tracer (see :mod:`repro.trace`)
         self.tracer = None
+        #: optional syscall-boundary tap, called as
+        #: ``tap(os, proc, name, args, result, error)`` after every
+        #: syscall dispatch (see :mod:`repro.conform`); ``None`` keeps
+        #: the hot path a single attribute check
+        self.syscall_tap: Optional[Callable[..., None]] = None
+        #: kernels booted on this machine, weakly referenced
+        self._kernels: List["weakref.ref[Any]"] = []
+        _LIVE_MACHINES.add(self)
+
+    def register_kernel(self, os: Any) -> None:
+        """Record a kernel booted on this machine (weak, audit-only)."""
+        self._kernels.append(weakref.ref(os))
+
+    def kernels(self) -> List[Any]:
+        """The still-alive kernels booted on this machine."""
+        return [os for os in (ref() for ref in self._kernels)
+                if os is not None]
 
     @property
     def cpus(self) -> List[Core]:

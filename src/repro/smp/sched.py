@@ -44,6 +44,11 @@ class SmpScheduler:
         self.switches = 0
         self.steals = 0
         self.steal_aborts = 0
+        #: optional pluggable pick policy (same contract as
+        #: :attr:`repro.kernel.sched.Scheduler.decision_source`): called
+        #: with the local runnable candidates, returns the task to
+        #: dispatch or ``None`` for the FIFO default
+        self.decision_source = None
 
     # -- the single-CPU-compatible view ---------------------------------
 
@@ -191,9 +196,21 @@ class SmpScheduler:
         while queue:
             task = queue[0]
             if task.state is TaskState.RUNNABLE:
-                return task
+                break
             queue.popleft()
-        return None
+        if not queue:
+            return None
+        if self.decision_source is not None:
+            candidates = [task for task in queue
+                          if task.state is TaskState.RUNNABLE]
+            chosen = self.decision_source(candidates)
+            if chosen is not None:
+                return chosen
+        return queue[0]
+
+    def queued_tasks(self) -> List[Task]:
+        """Every task sitting in any per-CPU queue (audit hook)."""
+        return [task for queue in self._queues for task in queue]
 
     def pick_for_cpu(self, cpu: int) -> Optional[Task]:
         """The executor's dispatch choice: local FIFO first, then steal."""

@@ -4,8 +4,33 @@ from __future__ import annotations
 
 import pytest
 
-from repro.machine import Machine
+from repro.machine import Machine, live_machines
 from repro.params import CostModel, MachineConfig
+
+
+@pytest.fixture(autouse=True)
+def _no_kernel_leaks():
+    """Fail any test that leaves kernel bookkeeping inconsistent.
+
+    After each test, every machine still alive is audited with the
+    conformance leak checks (:func:`repro.conform.invariants.leak_report`):
+    exited tasks may not sit in run queues, exited processes may not
+    hold fds, share notes may not outlive their frames, and no
+    allocated frame may have a non-positive refcount.  Tests that
+    legitimately leave processes *running* pass — the audit flags
+    inconsistent state, not live state.
+    """
+    yield
+    from repro.conform.invariants import leak_report
+
+    problems = []
+    for machine in live_machines():
+        for os_ in machine.kernels():
+            for line in leak_report(os_):
+                problems.append(f"{type(os_).__name__}: {line}")
+    if problems:
+        pytest.fail("kernel state leaked by this test:\n" +
+                    "\n".join(sorted(set(problems))), pytrace=False)
 
 
 @pytest.fixture

@@ -1,0 +1,76 @@
+"""The ``repro.conform/v1`` report: schema, determinism, golden pin.
+
+The golden report is generated host-free (``host=False``) so its bytes
+are machine-independent: every verdict in it comes from cross-strategy
+agreement on the simulated kernel.  To regenerate after an intentional
+change::
+
+    PYTHONPATH=src python - <<'PY'
+    import json
+    from tests.test_conform_report import GOLDEN_KWARGS
+    from repro.conform.runner import run_conform
+    report = run_conform(**GOLDEN_KWARGS)
+    with open("tests/golden/conform_report.json", "w") as fh:
+        fh.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    PY
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.conform import SCHEMA
+from repro.conform.runner import format_summary, run_conform
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "conform_report.json"
+
+GOLDEN_KWARGS = dict(
+    seed=7, cpus=(1, 2), strategies=("monolithic", "full", "coa", "copa"),
+    depth_bound=2, budget=40, host=False,
+    scenario_names=("pipe-hello", "dup2-closes-target", "heap-deep-chain",
+                    "shm-vs-heap", "signal-two-kinds", "contended-pipe"))
+
+
+def test_report_matches_golden_byte_for_byte():
+    report = run_conform(**GOLDEN_KWARGS)
+    rendered = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    assert rendered == GOLDEN.read_text(encoding="utf-8"), (
+        "conform report drifted from tests/golden/conform_report.json — "
+        "if the change is intentional, regenerate it (see module "
+        "docstring)")
+
+
+def test_same_seed_same_bytes():
+    first = run_conform(**GOLDEN_KWARGS)
+    second = run_conform(**GOLDEN_KWARGS)
+    assert json.dumps(first, sort_keys=True) == \
+        json.dumps(second, sort_keys=True)
+
+
+def test_report_shape_and_verdict():
+    report = json.loads(GOLDEN.read_text(encoding="utf-8"))
+    assert report["schema"] == SCHEMA
+    assert report["verdict"] == "conformant"
+    assert report["host_oracle"] is False
+    assert len(report["scenarios"]) == 6
+    for entry in report["scenarios"].values():
+        assert entry["reference_cell"] == "monolithic-c1"
+        verdicts = {cell["verdict"] for cell in entry["matrix"].values()}
+        assert verdicts == {"reference", "ok"}
+        assert entry["explorer"]["violations"] == []
+    summary = format_summary(report)
+    assert "verdict: conformant" in summary
+
+
+def test_sidecars_written(tmp_path):
+    run_conform(seed=3, cpus=(1,), strategies=("copa",), depth_bound=1,
+                budget=5, host=False, scenario_names=("pipe-hello",),
+                obs_dir=str(tmp_path))
+    report_path = tmp_path / "conform-3.conform.json"
+    obs_path = tmp_path / "conform-3.obs.json"
+    assert report_path.exists() and obs_path.exists()
+    doc = json.loads(report_path.read_text(encoding="utf-8"))
+    assert doc["schema"] == SCHEMA
+    obs = json.loads(obs_path.read_text(encoding="utf-8"))
+    assert obs["schema"].startswith("repro.obs/")

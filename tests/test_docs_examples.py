@@ -17,6 +17,7 @@ DOCS = [
     REPO_ROOT / "docs" / "OBSERVABILITY.md",
     REPO_ROOT / "docs" / "CHAOS.md",
     REPO_ROOT / "docs" / "SMP.md",
+    REPO_ROOT / "docs" / "CONFORMANCE.md",
 ]
 
 _FENCE_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)

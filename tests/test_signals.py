@@ -110,9 +110,22 @@ class TestHandlers:
 
     def test_pending_signals_not_inherited(self):
         os_, ctx = boot()
+        # ignore SIGUSR1 so the queued signal can't terminate the parent
+        # at the fork boundary (its POSIX default disposition)
+        ctx.syscall("signal", SIGUSR1, SIG_IGN)
         ctx.syscall("kill", ctx.pid, SIGUSR1)  # queued on the parent
         child = ctx.fork()
         assert child.syscall("sigpending") == []
+
+    def test_sigusr1_default_disposition_terminates(self):
+        """POSIX: the default action for SIGUSR1/SIGUSR2 is to
+        terminate the process (it is *not* ignored)."""
+        os_, ctx = boot()
+        victim = ctx.fork()
+        ctx.syscall("kill", victim.pid, SIGUSR1)
+        with pytest.raises(NoSuchProcess):
+            victim.syscall("getpid")
+        assert victim.proc.exit_status == 128 + SIGUSR1
 
     @pytest.mark.parametrize("os_cls", [UForkOS, MonolithicOS])
     def test_signals_work_on_both_oses(self, os_cls):
