@@ -10,25 +10,23 @@ multi-core throughput of Fig 6.
 Run:  python examples/faas_zygote.py
 """
 
-from repro import GuestContext, Machine, UForkOS
+from repro.api import Session
 from repro.apps.faas import ZygoteRuntime, faas_image
-from repro.baselines import MonolithicOS
 from repro.harness.experiments import fig6_faas_throughput
 from repro.harness.report import print_table
 
 
-def measure(os_cls) -> float:
-    os_ = os_cls(machine=Machine())
-    runtime = ZygoteRuntime(GuestContext(os_, os_.spawn(faas_image(),
-                                                        "zygote")))
-    with os_.machine.clock.measure() as warm_watch:
+def measure(os_name: str, isolation: str) -> float:
+    session = Session(os=os_name, isolation=isolation, seed=0).boot()
+    runtime = ZygoteRuntime(session.spawn(faas_image(), "zygote"))
+    with session.machine.clock.measure() as warm_watch:
         runtime.warm()
     print(f"  zygote warm-up: {warm_watch.elapsed_ms:.2f} ms "
           f"(paid once, amortized over every request)")
 
     runtime.handle_request()  # warm the fork paths
     samples = 10
-    with os_.machine.clock.measure() as watch:
+    with session.machine.clock.measure() as watch:
         for _ in range(samples):
             result = runtime.handle_request()
             assert result.ok
@@ -40,9 +38,9 @@ def measure(os_cls) -> float:
 
 def main() -> None:
     print("μFork (single address space, CoPA):")
-    ufork_us = measure(UForkOS)
+    ufork_us = measure("ufork", isolation="fault")
     print("\nCheriBSD-like monolithic baseline:")
-    cheribsd_us = measure(MonolithicOS)
+    cheribsd_us = measure("monolithic", isolation="full")
     print(f"\nμFork handles {cheribsd_us / ufork_us - 1:.0%} more "
           f"fork-bound requests per core (paper: +24%).\n")
 

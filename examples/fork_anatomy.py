@@ -8,7 +8,7 @@ behind Figs 4 and 8 — at three database sizes.
 Run:  python examples/fork_anatomy.py
 """
 
-from repro import CopyStrategy, GuestContext, IsolationConfig, Machine, UForkOS
+from repro.api import Session
 from repro.apps.redis import MiniRedis, populate, redis_image
 from repro.mem.layout import KiB, MiB
 from repro.trace import attach_tracer
@@ -26,19 +26,16 @@ BUCKETS = (
 
 
 def dissect(db_bytes: int) -> None:
-    os_ = UForkOS(
-        machine=Machine(),
-        copy_strategy=CopyStrategy.COPA,
-        isolation=IsolationConfig.fault(),
-    )
-    tracer = attach_tracer(os_.machine)
+    session = Session(os="ufork", strategy="copa",
+                      isolation="fault", seed=0).boot()
+    tracer = attach_tracer(session.machine)
     store = MiniRedis(
-        GuestContext(os_, os_.spawn(redis_image(db_bytes), "redis")),
+        session.spawn(redis_image(db_bytes), "redis"),
         nbuckets=max(64, db_bytes // (100 * KiB) * 2),
     )
     populate(store, db_bytes, value_size=100 * KiB)
 
-    clock = os_.machine.clock
+    clock = session.machine.clock
     clock.reset_buckets()
     tracer.clear()
     with clock.measure() as watch:

@@ -10,8 +10,7 @@ server forks the next case from the pristine image.
 Run:  python examples/fork_server.py
 """
 
-from repro import CopyStrategy, GuestContext, Machine, UForkOS
-from repro.apps.hello import hello_world_image
+from repro.api import Session
 from repro.errors import CapabilityFault
 
 
@@ -29,8 +28,8 @@ def target_program(ctx, testcase: bytes, parser_table) -> str:
 
 
 def main() -> None:
-    os_ = UForkOS(machine=Machine(), copy_strategy=CopyStrategy.COPA)
-    server = GuestContext(os_, os_.spawn(hello_world_image(), "fork-srv"))
+    session = Session(os="ufork", strategy="copa").boot()
+    server = session.spawn(name="fork-srv")
 
     # expensive one-time setup the fork server amortizes
     parser_table = server.malloc(32)
@@ -61,8 +60,8 @@ def main() -> None:
     rule = server.load_cap(table)
     assert server.load(rule, 16) == b"rule-data-0meta0"
     print(f"\n{crashes} crashing inputs found; server state intact, "
-          f"{os_.machine.counters.get('fork')} forks at "
-          f"~{os_.machine.clock.bucket_ns('fork_fixed') / os_.machine.counters.get('fork') / 1000:.0f} us each")
+          f"{session.machine.counters.get('fork')} forks at "
+          f"~{session.machine.clock.bucket_ns('fork_fixed') / session.machine.counters.get('fork') / 1000:.0f} us each")
 
 
 if __name__ == "__main__":

@@ -9,8 +9,7 @@ levels with their costs.
 Run:  python examples/isolation_demo.py
 """
 
-from repro import GuestContext, IsolationConfig, Machine, UForkOS
-from repro.apps.hello import hello_world_image
+from repro.api import Session
 from repro.cheri.capability import Capability, Perm
 from repro.cheri.regfile import DDC
 from repro.core.isolation import check_privileged
@@ -35,9 +34,10 @@ def expect(exc_type, action, description: str) -> None:
 
 
 def main() -> None:
-    os_ = UForkOS(machine=Machine(), isolation=IsolationConfig.full())
-    victim = GuestContext(os_, os_.spawn(hello_world_image(), "victim"))
-    attacker = GuestContext(os_, os_.spawn(hello_world_image(), "attacker"))
+    session = Session(os="ufork", isolation="full", seed=0).boot()
+    os_ = session.os
+    victim = session.spawn(name="victim")
+    attacker = session.spawn(name="attacker")
     ddc = attacker.reg(DDC)
 
     print("1. μprocesses cannot reach each other's memory:")
@@ -79,17 +79,17 @@ def main() -> None:
     )
 
     print("\n6. parameterized isolation (R4) — same syscall, three costs:")
-    for level_name, config in (
-        ("none ", IsolationConfig.none()),
-        ("fault", IsolationConfig.fault()),
-        ("full ", IsolationConfig.full()),
+    for level_name, level in (
+        ("none ", "none"),
+        ("fault", "fault"),
+        ("full ", "full"),
     ):
-        level_os = UForkOS(machine=Machine(), isolation=config)
-        ctx = GuestContext(level_os,
-                           level_os.spawn(hello_world_image(), "p"))
+        level_session = Session(os="ufork", isolation=level,
+                                seed=0).boot()
+        ctx = level_session.spawn(name="p")
         from repro.kernel.vfs import O_CREAT, O_WRONLY
         fd = ctx.syscall("open", "/f", O_CREAT | O_WRONLY)
-        with level_os.machine.clock.measure() as watch:
+        with level_session.machine.clock.measure() as watch:
             ctx.write_bytes(fd, b"y" * 4096)
         print(f"  isolation={level_name}: 4 KB write costs "
               f"{watch.elapsed_us:.2f} us")

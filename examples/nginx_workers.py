@@ -9,15 +9,15 @@ the modeled worker-count throughput of Fig 7.
 Run:  python examples/nginx_workers.py
 """
 
-from repro import GuestContext, Machine, UForkOS
+from repro.api import Session
 from repro.apps.nginx import MiniNginx, WrkClient, nginx_image
 from repro.harness.experiments import fig7_nginx_throughput
 from repro.harness.report import print_table
 
 
 def main() -> None:
-    os_ = UForkOS(machine=Machine())
-    master = GuestContext(os_, os_.spawn(nginx_image(), "nginx"))
+    session = Session(os="ufork", seed=0).boot()
+    master = session.spawn(nginx_image(), "nginx")
     server = MiniNginx(master)
     workers = server.fork_workers(3)
     print(f"master pid={master.pid} forked "
@@ -25,7 +25,7 @@ def main() -> None:
     print("workers inherited the listening socket via the duplicated "
           "fd table\n")
 
-    wrk = WrkClient(GuestContext(os_, os_.spawn(nginx_image(), "wrk")))
+    wrk = WrkClient(session.spawn(nginx_image(), "wrk"))
     for index, worker in enumerate(workers):
         fd = wrk.issue()
         stats = server.serve_one(worker)

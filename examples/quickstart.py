@@ -4,29 +4,18 @@
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    CopyStrategy,
-    GuestContext,
-    IsolationConfig,
-    Machine,
-    UForkOS,
-)
-from repro.apps.hello import hello_world_image
+from repro.api import Session
 from repro.cheri.regfile import DDC
 
 
 def main() -> None:
     # 1. Boot the single-address-space OS with the CoPA copy strategy
     #    (the paper's best performer) and non-adversarial isolation.
-    os_ = UForkOS(
-        machine=Machine(),
-        copy_strategy=CopyStrategy.COPA,
-        isolation=IsolationConfig.fault(),
-    )
+    session = Session(os="ufork", strategy="copa", isolation="fault").boot()
 
     # 2. Load a program: the μprocess gets a contiguous region of the
     #    one address space, bounded capabilities, a GOT, a static heap.
-    parent = GuestContext(os_, os_.spawn(hello_world_image(), "demo"))
+    parent = session.spawn(name="demo")
     print(f"parent pid={parent.pid} region="
           f"[{parent.proc.region_base:#x}, {parent.proc.region_top:#x})")
 
@@ -41,7 +30,7 @@ def main() -> None:
 
     # 4. Fork.  The child's memory lands at a *different* place in the
     #    same address space; every capability is rebased.
-    with os_.machine.clock.measure() as watch:
+    with session.machine.clock.measure() as watch:
         child = parent.fork()
     print(f"forked child pid={child.pid} in {watch.elapsed_us:.1f} "
           f"simulated us")
@@ -71,7 +60,7 @@ def main() -> None:
     pid, status = parent.wait(child.pid)
     print(f"reaped child {pid} with status {status}")
     print(f"page copies performed lazily: "
-          f"{os_.machine.counters.get('fork_page_copies')}")
+          f"{session.machine.counters.get('fork_page_copies')}")
 
 
 if __name__ == "__main__":

@@ -8,20 +8,17 @@ snapshot to the ram-disk.  Compares the three copy strategies.
 Run:  python examples/redis_snapshot.py
 """
 
-from repro import CopyStrategy, GuestContext, IsolationConfig, Machine, UForkOS
+from repro.api import Session
 from repro.apps.redis import MiniRedis, populate, redis_image
 from repro.mem.layout import KiB, MiB
 
 
-def run_strategy(strategy: CopyStrategy) -> None:
-    os_ = UForkOS(
-        machine=Machine(),
-        copy_strategy=strategy,
-        isolation=IsolationConfig.fault(),
-    )
+def run_strategy(strategy: str) -> None:
+    session = Session(os="ufork", strategy=strategy,
+                      isolation="fault", seed=0).boot()
     db_bytes = 4 * MiB
     store = MiniRedis(
-        GuestContext(os_, os_.spawn(redis_image(db_bytes), "redis")),
+        session.spawn(redis_image(db_bytes), "redis"),
         nbuckets=256,
     )
     populate(store, db_bytes, value_size=100 * KiB)
@@ -34,12 +31,12 @@ def run_strategy(strategy: CopyStrategy) -> None:
     store.set(b"written-after-fork", b"not in the snapshot")
 
     dump = MiniRedis.parse_dump(
-        bytes(os_.ramdisk.open("/dump.rdb").node.data)
+        bytes(session.os.ramdisk.open("/dump.rdb").node.data)
     )
     assert b"written-after-fork" not in dump
     assert len(dump) == store.size() - 1
 
-    print(f"{strategy.value:>9}: fork latency "
+    print(f"{strategy:>9}: fork latency "
           f"{metrics.fork_latency_ns / 1000:9.1f} us | "
           f"child memory {metrics.child_extra_bytes / MiB:7.2f} MB | "
           f"save total {metrics.save_total_ns / 1e6:7.2f} ms | "
@@ -49,8 +46,7 @@ def run_strategy(strategy: CopyStrategy) -> None:
 def main() -> None:
     print("Redis BGSAVE (4 MB database, 100 KB values) under each "
           "μFork copy strategy:\n")
-    for strategy in (CopyStrategy.FULL_COPY, CopyStrategy.COA,
-                     CopyStrategy.COPA):
+    for strategy in ("full", "coa", "copa"):
         run_strategy(strategy)
     print("\nCoPA shares everything the child only *reads*, copying "
           "just the pages it loads capabilities from — the paper's "

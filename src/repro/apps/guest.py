@@ -16,11 +16,17 @@ from __future__ import annotations
 import struct
 from typing import Any, Optional, Tuple
 
+from repro import perf as _perf
 from repro.cheri.capability import Capability, Perm
 from repro.cheri.codec import CAP_SIZE
 from repro.kernel.task import Process
 
 _U64 = struct.Struct("<Q")
+
+#: hoisted Perm members for the perf fast lanes in load/store — the
+#: per-access Enum class-attribute lookups add up on hot guest loops
+_PERM_LOAD = Perm.LOAD
+_PERM_STORE = Perm.STORE
 
 
 class GuestContext:
@@ -33,6 +39,7 @@ class GuestContext:
         self.os = os
         self.proc = proc
         self._staging: Optional[Capability] = None
+        self._space_memo: Any = None
 
     # ------------------------------------------------------------------
     # Registers
@@ -54,14 +61,39 @@ class GuestContext:
 
     @property
     def space(self):
+        # a process's address space is assigned once (spawn/fork) and
+        # never replaced, so the perf path resolves it only once
+        if _perf.ENABLED:
+            space = self._space_memo
+            if space is None:
+                space = self.os.space_of(self.proc)
+                self._space_memo = space
+            return space
         return self.os.space_of(self.proc)
 
     def load(self, cap: Capability, size: int, offset: int = 0) -> bytes:
+        if _perf.ENABLED:
+            # same call chain, minus the property/keyword overhead
+            addr = cap.check_access(_PERM_LOAD, size, cap.cursor + offset)
+            space = self._space_memo
+            if space is None:
+                space = self.os.space_of(self.proc)
+                self._space_memo = space
+            return space.read(addr, size)
         addr = cap.check_access(Perm.LOAD, size=size,
                                 addr=cap.cursor + offset)
         return self.space.read(addr, size)
 
     def store(self, cap: Capability, data: bytes, offset: int = 0) -> None:
+        if _perf.ENABLED:
+            addr = cap.check_access(_PERM_STORE, len(data),
+                                    cap.cursor + offset)
+            space = self._space_memo
+            if space is None:
+                space = self.os.space_of(self.proc)
+                self._space_memo = space
+            space.write(addr, data)
+            return
         addr = cap.check_access(Perm.STORE, size=len(data),
                                 addr=cap.cursor + offset)
         self.space.write(addr, data)

@@ -137,11 +137,10 @@ def run_chaos(seed: int = 7, iterations: int = 200,
         _os.makedirs(obs_dir, exist_ok=True)
         write_export(export, _os.path.join(obs_dir,
                                            f"chaos-{seed}.obs.json"))
+        from repro.harness.reportio import write_report
         sidecar = {"run": summary, "engine": engine.export()}
-        with open(_os.path.join(obs_dir, f"chaos-{seed}.chaos.json"),
-                  "w", encoding="utf-8") as handle:
-            handle.write(json.dumps(sidecar, indent=2, sort_keys=True)
-                         + "\n")
+        write_report(sidecar,
+                     _os.path.join(obs_dir, f"chaos-{seed}.chaos.json"))
     return summary
 
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 import struct
 from typing import Dict, Tuple
 
-from repro.cheri.capability import Capability, Perm
+from repro.cheri.capability import Capability, Perm, _fast_cap
 
 #: a capability occupies one granule
 CAP_SIZE = 16
@@ -27,12 +27,34 @@ CAP_SIZE = 16
 _META_STRUCT = struct.Struct("<QQ")
 
 
+#: memo tables are dropped wholesale once they reach this many entries
+#: (they are per-machine; real workloads stay far below the cap)
+_MEMO_CAP = 65536
+
+
 class CapabilityCodec:
-    """Interns capability metadata and packs/unpacks 16-byte granules."""
+    """Interns capability metadata and packs/unpacks 16-byte granules.
+
+    With :mod:`repro.perf` enabled, encode and decode are memoised.
+    Both memos are sound by construction: a metadata tuple, once
+    interned, never changes, so a ``(cursor, meta_id, valid)`` triple
+    always decodes to an equal :class:`Capability`.  The one case that
+    is *not* cacheable — raw bytes naming a meta id that does not exist
+    yet (a forged capability) — is deliberately left uncached, because
+    interning could later create that id and change the decode result.
+    """
 
     def __init__(self) -> None:
         self._meta_to_id: Dict[Tuple[int, int, int, int], int] = {}
         self._id_to_meta: Dict[int, Tuple[int, int, int, int]] = {}
+        self._encode_memo: Dict[Tuple[int, int, int, int, int], bytes] = {}
+        self._decode_memo: Dict[Tuple[bytes, bool], Capability] = {}
+        self._perf = False
+        try:
+            from repro import perf as _perf
+            self._perf = _perf.enabled()
+        except ImportError:  # pragma: no cover - bootstrap ordering
+            pass
 
     def _meta_id(self, cap: Capability) -> int:
         key = (cap.base, cap.length, int(cap.perms), cap.otype)
@@ -45,6 +67,19 @@ class CapabilityCodec:
 
     def encode(self, cap: Capability) -> bytes:
         """Pack a capability into its 16-byte memory representation."""
+        if self._perf:
+            key = (cap.cursor, cap.base, cap.length, int(cap.perms),
+                   cap.otype)
+            raw = self._encode_memo.get(key)
+            if raw is not None:
+                return raw
+            raw = _META_STRUCT.pack(
+                cap.cursor & (2**64 - 1), self._meta_id(cap)
+            )
+            if len(self._encode_memo) >= _MEMO_CAP:
+                self._encode_memo.clear()
+            self._encode_memo[key] = raw
+            return raw
         return _META_STRUCT.pack(
             cap.cursor & (2**64 - 1), self._meta_id(cap)
         )
@@ -57,16 +92,28 @@ class CapabilityCodec:
         loading untagged bytes into a capability register yields a value
         that faults on use.
         """
+        if self._perf:
+            memo_key = (raw, valid)
+            cached = self._decode_memo.get(memo_key)
+            if cached is not None:
+                return cached
         if len(raw) != CAP_SIZE:
             raise ValueError(f"capability granule must be {CAP_SIZE} bytes")
         cursor, meta_id = _META_STRUCT.unpack(raw)
         meta = self._id_to_meta.get(meta_id)
         if meta is None:
             # Forged / garbage metadata: an invalid null-ish capability.
+            # NOT memoised — interning could later claim this meta id.
             return Capability(
                 base=0, length=0, cursor=cursor, perms=Perm.NONE, valid=False
             )
         base, length, perms, otype = meta
+        if self._perf:
+            cap = _fast_cap(base, length, cursor, Perm(perms), otype, valid)
+            if len(self._decode_memo) >= _MEMO_CAP:
+                self._decode_memo.clear()
+            self._decode_memo[memo_key] = cap
+            return cap
         return Capability(
             base=base,
             length=length,

@@ -159,10 +159,9 @@ def run_conform(seed: int = 7,
         _os.makedirs(obs_dir, exist_ok=True)
         write_export(export, _os.path.join(
             obs_dir, f"conform-{seed}.obs.json"))
-        with open(_os.path.join(obs_dir, f"conform-{seed}.conform.json"),
-                  "w", encoding="utf-8") as handle:
-            handle.write(json.dumps(report, indent=2, sort_keys=True)
-                         + "\n")
+        from repro.harness.reportio import write_report
+        write_report(report, _os.path.join(
+            obs_dir, f"conform-{seed}.conform.json"))
     return report
 
 

@@ -17,9 +17,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from repro import perf as _perf
 from repro.cheri.capability import Capability
+from repro.cheri.codec import CAP_SIZE
 from repro.cheri.regfile import RegisterFile
 from repro.hw.phys import Frame
+
+#: the per-machine raw-relocation memo is dropped wholesale at this size
+_RELOC_MEMO_CAP = 65536
+
+#: memo-miss sentinel (``None`` is a legitimate cached value)
+_MISSING = object()
 
 
 @dataclass(frozen=True)
@@ -87,18 +95,79 @@ def relocate_frame(machine: Any, frame: Frame, regions: RegionPair) -> int:
         obs.count("core.relocate.frames_scanned")
         obs.count("hw.phys.tag_granules_scanned",
                   config.page_size // config.granule)
-    relocated = 0
-    for offset in frame.tagged_granules():
-        cap = frame.load_cap(offset, machine.codec)
-        moved = relocate_cap(cap, regions)
-        if moved is not cap:
-            frame.store_cap(offset, moved, machine.codec)
-            machine.charge(machine.costs.cap_relocate_ns, "reloc_cap")
-            relocated += 1
+    if _perf.ENABLED:
+        relocated = _relocate_frame_memoised(machine, frame, regions)
+    else:
+        relocated = 0
+        for offset in frame.tagged_granules():
+            cap = frame.load_cap(offset, machine.codec)
+            moved = relocate_cap(cap, regions)
+            if moved is not cap:
+                frame.store_cap(offset, moved, machine.codec)
+                machine.charge(machine.costs.cap_relocate_ns, "reloc_cap")
+                relocated += 1
     if relocated:
         machine.counters.add("caps_relocated", relocated)
         obs.count("core.relocate.caps_relocated", relocated)
         machine.trace("relocate_frame", caps=relocated)
+    return relocated
+
+
+def _relocate_frame_memoised(machine: Any, frame: Frame,
+                             regions: RegionPair) -> int:
+    """The :mod:`repro.perf` scan: memoises relocation at the raw-bytes
+    level so repeated forks over a stable region pair skip the
+    decode → relocate → encode chain per capability.
+
+    Soundness: a granule's 16 raw bytes plus the region pair fully
+    determine the relocation outcome — decode is a pure lookup in the
+    codec's append-only intern table, :func:`relocate_cap` is a pure
+    function, and encode of an interned capability is stable.  The one
+    unstable case (raw bytes naming a not-yet-interned meta id, which
+    decodes invalid today but could decode valid after more interning)
+    is never memoised; it cannot occur for *tagged* granules anyway,
+    since only a legitimate ``store_cap`` sets a tag.
+
+    The simulated charge stream is identical to the plain loop: one
+    ``cap_relocate_ns`` per rewritten capability, batched into a single
+    ``advance`` only when the cost is integral (sum-equal is then
+    bit-equal, and the observability layer records pure sums).
+    """
+    memo = machine._reloc_memo
+    region_key = (regions.parent_base, regions.parent_top,
+                  regions.child_base, regions.child_top)
+    codec = machine.codec
+    data = frame.data
+    tags = frame.tags
+    relocated = 0
+    for offset in frame.tagged_granules():
+        raw = bytes(data[offset:offset + CAP_SIZE])
+        key = (region_key, raw)
+        entry = memo.get(key, _MISSING)
+        if entry is _MISSING:
+            cap = codec.decode(raw, True)
+            moved = relocate_cap(cap, regions)
+            if moved is cap:
+                entry = None
+            else:
+                entry = (codec.encode(moved),
+                         1 if moved.valid else 0)
+            if cap.valid:
+                if len(memo) >= _RELOC_MEMO_CAP:
+                    memo.clear()
+                memo[key] = entry
+        if entry is not None:
+            new_raw, new_tag = entry
+            data[offset:offset + CAP_SIZE] = new_raw
+            tags[offset // CAP_SIZE] = new_tag
+            relocated += 1
+    if relocated:
+        per_cap = machine.costs.cap_relocate_ns
+        if per_cap == int(per_cap):
+            machine.charge(per_cap * relocated, "reloc_cap")
+        else:  # non-integral cost: per-cap rounding must be preserved
+            for _ in range(relocated):
+                machine.charge(per_cap, "reloc_cap")
     return relocated
 
 

@@ -21,8 +21,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Optional
+from typing import Any, Dict, Optional, Tuple
 
+from repro import perf as _perf
 from repro.core.relocate import RegionPair, relocate_frame
 from repro.hw.paging import AccessKind, AddressSpace, PagePerm, PTE
 
@@ -35,7 +36,7 @@ class CopyStrategy(Enum):
     COPA = "copa"
 
 
-@dataclass
+@dataclass(slots=True)
 class ShareNote:
     """PTE annotation for a page shared between parent and child."""
 
@@ -47,9 +48,28 @@ class ShareNote:
     orig_perms: PagePerm
 
 
+#: share-permission memo: IntFlag arithmetic is pure but surprisingly
+#: slow, and fork-time sharing runs it once per page; the handful of
+#: distinct (strategy, perms) pairs makes a tiny permanent memo
+_CHILD_PERMS_MEMO: Dict[Tuple[CopyStrategy, int], PagePerm] = {}
+_PARENT_PERMS_MEMO: Dict[int, PagePerm] = {}
+
+
 def child_share_perms(strategy: CopyStrategy,
                       orig_perms: PagePerm) -> PagePerm:
     """Page permissions for the child's mapping of a shared page."""
+    if _perf.ENABLED:
+        key = (strategy, int(orig_perms))
+        cached = _CHILD_PERMS_MEMO.get(key)
+        if cached is None:
+            cached = _child_share_perms(strategy, orig_perms)
+            _CHILD_PERMS_MEMO[key] = cached
+        return cached
+    return _child_share_perms(strategy, orig_perms)
+
+
+def _child_share_perms(strategy: CopyStrategy,
+                       orig_perms: PagePerm) -> PagePerm:
     if strategy is CopyStrategy.COA:
         # fully inaccessible: any access faults
         return PagePerm.NONE
@@ -62,7 +82,32 @@ def child_share_perms(strategy: CopyStrategy,
 def parent_share_perms(orig_perms: PagePerm) -> PagePerm:
     """Parent keeps reading (including its own capabilities) but writes
     must fault to preserve the child's snapshot."""
+    if _perf.ENABLED:
+        key = int(orig_perms)
+        cached = _PARENT_PERMS_MEMO.get(key)
+        if cached is None:
+            cached = orig_perms & ~PagePerm.WRITE
+            _PARENT_PERMS_MEMO[key] = cached
+        return cached
     return orig_perms & ~PagePerm.WRITE
+
+
+def _note_index(space: AddressSpace) -> Optional[set]:
+    """The space's candidate set of vpns that may carry a ShareNote.
+
+    Gated on the space's construction-time :mod:`repro.perf` snapshot.
+    The set is an *over-approximation*: sites that clear a note without
+    knowing its vpn (fork rollback, unmap) leave stale members behind,
+    and :func:`iter_share_notes` re-validates and prunes every candidate
+    — so audits see exactly the notes a full page-table scan would.
+    """
+    if not getattr(space, "_perf", False):
+        return None
+    index = getattr(space, "_share_note_vpns", None)
+    if index is None:
+        index = set()
+        space._share_note_vpns = index
+    return index
 
 
 def setup_shared_page(space: AddressSpace, parent_vpn: int, child_vpn: int,
@@ -88,6 +133,11 @@ def setup_shared_page(space: AddressSpace, parent_vpn: int, child_vpn: int,
     if not isinstance(parent_pte.note, ShareNote):
         parent_pte.note = ShareNote("parent", strategy, regions, orig)
     machine.charge(machine.costs.pte_protect_ns, "fork_protect")
+
+    index = _note_index(space)
+    if index is not None:
+        index.add(parent_vpn)
+        index.add(child_vpn)
 
 
 def copy_page_for_child(space: AddressSpace, child_vpn: int,
@@ -174,6 +224,9 @@ def _make_private(space: AddressSpace, vpn: int, pte: PTE,
         relocate_frame(machine, machine.phys.frame(pte.frame), note.regions)
     pte.perms = note.orig_perms
     pte.note = None
+    index = getattr(space, "_share_note_vpns", None)
+    if index is not None:
+        index.discard(vpn)
 
 
 def resolve_all_pending(space: AddressSpace, region_base: int,
@@ -207,7 +260,23 @@ def iter_share_notes(space: AddressSpace):
     never leaves a :class:`ShareNote` whose frame has been freed, whose
     role is unknown, or whose restored permissions would be *narrower*
     than the current ones (sharing only ever removes permissions).
+
+    With :mod:`repro.perf` enabled the walk is served from the space's
+    candidate-vpn index (see :func:`_note_index`) instead of a full
+    page-table scan; every candidate is re-validated against the live
+    PTE, so the audited set is identical either way.
     """
+    if getattr(space, "_perf", False):
+        index = getattr(space, "_share_note_vpns", None)
+        if index is None:
+            return  # no ShareNote was ever created in this space
+        for vpn in sorted(index):
+            pte = space.page_table.get(vpn)
+            if pte is None or not isinstance(pte.note, ShareNote):
+                index.discard(vpn)
+                continue
+            yield vpn, pte, pte.note
+        return
     for vpn, pte in space.page_table.entries():
         if isinstance(pte.note, ShareNote):
             yield vpn, pte, pte.note

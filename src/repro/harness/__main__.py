@@ -1,19 +1,26 @@
-"""Regenerate every table and figure from the command line.
+"""The harness command line: one subcommand per artifact.
 
 Usage::
 
-    python -m repro.harness            # scaled sweep (fast)
-    python -m repro.harness --full     # the paper's 100 KB-100 MB sweep
-    python -m repro.harness --only fig8
-    python -m repro.harness --obs-dir out/  # + <name>.obs.json sidecars
-    python -m repro.harness obs-report      # hierarchical fork profile
+    python -m repro.harness                     # = figures (scaled sweep)
+    python -m repro.harness figures --full      # paper-scale sweep
+    python -m repro.harness figures --only fig8
+    python -m repro.harness figures --obs-dir out/   # + .obs.json sidecars
+    python -m repro.harness obs-report               # fork-cost profile
     python -m repro.harness obs-report --json profile.json
     python -m repro.harness chaos --seed 7 --iterations 200
     python -m repro.harness chaos --fault-mix "default=0.01,core.ufork.abort.*=0.2"
-    python -m repro.harness smp --cpus 4 --seed 7       # one SMP run
-    python -m repro.harness smp                          # 1/2/4/8 sweep
-    python -m repro.harness smp --workload forkbench --cpus 8
-    python -m repro.harness smp --cpus 4 --fault-mix "smp.*=0.1"
+    python -m repro.harness smp --cpus 4 --seed 7    # one SMP run
+    python -m repro.harness smp                      # 1/2/4/8 sweep
+    python -m repro.harness conform --budget 100 --no-host
+    python -m repro.harness bench                    # writes BENCH_hotpath.json
+    python -m repro.harness bench --only fault_storm --json out.json
+
+Every subcommand owns exactly its own flags (``figures --depth-bound``
+is an error, not silence) and shares the common ``--seed``, ``--cpus``,
+``--obs-dir`` and ``--json`` options through one parent parser.  A bare
+flag list (``python -m repro.harness --only fig8``) keeps meaning the
+historical default command, ``figures``.
 """
 
 from __future__ import annotations
@@ -21,144 +28,241 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from typing import List, Optional
 
-from repro.harness.experiments import (
-    DEFAULT_DB_SIZES,
-    FULL_DB_SIZES,
-    copa_ablation,
-    fig3_redis_save,
-    fig4_redis_fork_latency,
-    fig5_redis_memory,
-    fig6_faas_throughput,
-    fig7_nginx_throughput,
-    fig8_hello_fork,
-    fig9_unixbench,
-)
-from repro.harness.report import print_table
-from repro.harness.table1 import table1_rows
-from repro.mem.layout import MiB
+#: every subcommand; the first is the implied default for bare flags
+SUBCOMMANDS = ("figures", "obs-report", "chaos", "smp", "conform", "bench")
+
+#: default output path for the bench report (the BENCH_* trajectory)
+BENCH_REPORT = "BENCH_hotpath.json"
 
 
-def _print_compat() -> None:
-    from repro.harness.compat import matrix_rows
-    print_table(matrix_rows(),
-                title="App x syscall compatibility matrix (Loupe-style)")
+def _common_parent() -> argparse.ArgumentParser:
+    """The options shared by every subcommand (one parent parser, so
+    help text and defaults cannot drift between commands)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("common options")
+    group.add_argument("--seed", type=int, default=7,
+                       help="deterministic seed (machine randomness, "
+                            "fault schedules, explorer ordering)")
+    group.add_argument("--cpus", type=int, default=None,
+                       help="online CPU count; commands that sweep "
+                            "(smp, conform) treat the default as "
+                            "'use the command's sweep list'")
+    group.add_argument("--obs-dir", metavar="DIR", default=None,
+                       help="write repro.obs/v1 metric sidecars (and "
+                            "the command's own report) into DIR")
+    group.add_argument("--json", metavar="PATH", default=None,
+                       help="write the command's JSON report to PATH")
+    return parent
 
 
-def main(argv=None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        description="Regenerate the μFork paper's tables and figures."
-    )
-    parser.add_argument("command", nargs="?", default=None,
-                        choices=["obs-report", "chaos", "smp", "conform"],
-                        help="optional subcommand: obs-report prints a "
-                             "hierarchical fork-cost profile; chaos runs "
-                             "the fault-injection workload (docs/CHAOS.md); "
-                             "smp runs a multi-core workload (docs/SMP.md); "
-                             "conform runs the differential POSIX "
-                             "conformance suite (docs/CONFORMANCE.md)")
-    parser.add_argument("--full", action="store_true",
-                        help="run the paper-scale 100 KB-100 MB sweep")
-    parser.add_argument("--only", metavar="NAME", default=None,
-                        help="run a single experiment "
-                             "(table1, fig3..fig9, ablation)")
-    parser.add_argument("--obs-dir", metavar="DIR", default=None,
-                        help="also write a <name>.obs.json metrics "
-                             "sidecar per experiment into DIR")
-    parser.add_argument("--json", metavar="PATH", default=None,
-                        help="(obs-report) write the per-system "
-                             "observability exports to PATH")
-    parser.add_argument("--seed", type=int, default=7,
-                        help="(chaos) the fault schedule + workload seed")
-    parser.add_argument("--iterations", type=int, default=200,
-                        help="(chaos) number of workload operations")
-    parser.add_argument("--fault-mix", metavar="SPEC", default=None,
-                        help="(chaos/smp) pattern=rate,... injection "
-                             "rates (see docs/CHAOS.md)")
-    parser.add_argument("--cpus", type=int, default=None,
-                        help="(smp) online CPU count; omit to sweep "
-                             "1/2/4/8 cores")
-    parser.add_argument("--requests", type=int, default=64,
-                        help="(smp) number of workload requests")
-    parser.add_argument("--workload", default="faas",
-                        choices=["faas", "nginx", "forkbench"],
-                        help="(smp) which workload to drive")
-    parser.add_argument("--depth-bound", type=int, default=3,
-                        help="(conform) max schedule deviations per "
-                             "explored interleaving")
-    parser.add_argument("--budget", type=int, default=600,
-                        help="(conform) max schedules explored per "
-                             "scenario")
-    parser.add_argument("--strategies", metavar="LIST", default=None,
-                        help="(conform) comma-separated fork strategies "
-                             "(default: monolithic,full,coa,copa)")
-    parser.add_argument("--scenario", action="append", default=None,
-                        help="(conform) run only this scenario "
-                             "(repeatable)")
-    parser.add_argument("--no-host", action="store_true",
-                        help="(conform) skip the host-POSIX oracle and "
-                             "diff strategies against each other")
-    args = parser.parse_args(argv)
+        prog="python -m repro.harness",
+        description="Regenerate the μFork paper's tables, figures and "
+                    "auxiliary reports.")
+    parent = _common_parent()
+    sub = parser.add_subparsers(dest="command", required=True,
+                                metavar="command")
 
-    if args.command == "obs-report":
-        from repro.harness.obsreport import obs_report
-        obs_report(json_path=args.json)
-        return 0
+    figures = sub.add_parser(
+        "figures", parents=[parent],
+        help="print the paper's tables and figures (the default)")
+    figures.add_argument("--full", action="store_true",
+                         help="run the paper-scale 100 KB-100 MB sweep")
+    figures.add_argument("--only", metavar="NAME", default=None,
+                         help="run a single experiment "
+                              "(table1, fig3..fig9, ablation, compat)")
 
-    if args.command == "chaos":
-        from repro.chaos.runner import DEFAULT_MIX, format_summary, run_chaos
-        summary = run_chaos(seed=args.seed, iterations=args.iterations,
-                            mix=args.fault_mix or DEFAULT_MIX,
-                            obs_dir=args.obs_dir)
+    obs_report = sub.add_parser(
+        "obs-report", parents=[parent],
+        help="hierarchical fork-cost profile on all three systems")
+    obs_report.add_argument("--samples", type=int, default=10,
+                            help="observed fork/exit/wait cycles per "
+                                 "system")
+
+    chaos = sub.add_parser(
+        "chaos", parents=[parent],
+        help="fault-injection workload (docs/CHAOS.md)")
+    chaos.add_argument("--iterations", type=int, default=200,
+                       help="number of workload operations")
+    chaos.add_argument("--fault-mix", metavar="SPEC", default=None,
+                       help="pattern=rate,... injection rates "
+                            "(see docs/CHAOS.md)")
+
+    smp = sub.add_parser(
+        "smp", parents=[parent],
+        help="multi-core workload (docs/SMP.md); sweeps 1/2/4/8 "
+             "cores unless --cpus pins one count")
+    smp.add_argument("--requests", type=int, default=64,
+                     help="number of workload requests")
+    smp.add_argument("--workload", default="faas",
+                     choices=["faas", "nginx", "forkbench"],
+                     help="which workload to drive")
+    smp.add_argument("--fault-mix", metavar="SPEC", default=None,
+                     help="optional chaos injection rates")
+
+    conform = sub.add_parser(
+        "conform", parents=[parent],
+        help="differential POSIX conformance suite "
+             "(docs/CONFORMANCE.md)")
+    conform.add_argument("--depth-bound", type=int, default=3,
+                         help="max schedule deviations per explored "
+                              "interleaving")
+    conform.add_argument("--budget", type=int, default=600,
+                         help="max schedules explored per scenario")
+    conform.add_argument("--strategies", metavar="LIST", default=None,
+                         help="comma-separated fork strategies "
+                              "(default: monolithic,full,coa,copa)")
+    conform.add_argument("--scenario", action="append", default=None,
+                         help="run only this scenario (repeatable)")
+    conform.add_argument("--no-host", action="store_true",
+                         help="skip the host-POSIX oracle and diff "
+                              "strategies against each other")
+
+    bench = sub.add_parser(
+        "bench", parents=[parent],
+        help="host-time microbenchmarks of the repro.perf hot paths; "
+             f"writes {BENCH_REPORT}")
+    bench.add_argument("--only", action="append", default=None,
+                       metavar="NAME",
+                       help="run only this microbenchmark (repeatable; "
+                            "fork_full_copy, fault_storm, "
+                            "pipe_pingpong, conform_explorer)")
+    bench.add_argument("--check", metavar="BASELINE", default=None,
+                       help="also gate against a previous report at "
+                            "this path (>25%% slowdown on any "
+                            "benchmark fails)")
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+
+def _cmd_obs_report(args) -> int:
+    from repro.harness.obsreport import obs_report
+    obs_report(samples=args.samples, json_path=args.json)
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.chaos.runner import DEFAULT_MIX, format_summary, run_chaos
+    summary = run_chaos(seed=args.seed, iterations=args.iterations,
+                        mix=args.fault_mix or DEFAULT_MIX,
+                        obs_dir=args.obs_dir)
+    print(format_summary(summary))
+    if args.json:
+        from repro.harness.reportio import write_report
+        write_report(summary, args.json)
+    if args.obs_dir:
+        print(f"[sidecars: {args.obs_dir}/chaos-{args.seed}"
+              f".obs.json + .chaos.json]")
+    return 0
+
+
+def _cmd_conform(args) -> int:
+    from repro.conform.runner import DEFAULT_CPUS, format_summary, run_conform
+    from repro.conform.simrun import STRATEGIES
+    strategies = (args.strategies.split(",") if args.strategies
+                  else list(STRATEGIES))
+    cpus = [args.cpus] if args.cpus is not None else list(DEFAULT_CPUS)
+    report = run_conform(seed=args.seed, cpus=cpus,
+                         strategies=strategies,
+                         depth_bound=args.depth_bound,
+                         budget=args.budget,
+                         scenario_names=args.scenario,
+                         host=not args.no_host,
+                         obs_dir=args.obs_dir)
+    print(format_summary(report))
+    if args.json:
+        from repro.harness.reportio import write_report
+        write_report(report, args.json)
+    if args.obs_dir:
+        print(f"[sidecars: {args.obs_dir}/conform-{args.seed}"
+              f".obs.json + .conform.json]")
+    return 0 if report["verdict"] == "conformant" else 1
+
+
+def _cmd_smp(args) -> int:
+    from repro.smp.runner import DEFAULT_SWEEP, format_summary, run_smp
+    sweep = [args.cpus] if args.cpus is not None else list(DEFAULT_SWEEP)
+    summaries = []
+    for index, cpus in enumerate(sweep):
+        if index:
+            print()
+        summary = run_smp(seed=args.seed, num_cpus=cpus,
+                          requests=args.requests,
+                          workload=args.workload,
+                          mix=args.fault_mix,
+                          obs_dir=args.obs_dir)
+        summaries.append(summary)
         print(format_summary(summary))
         if args.obs_dir:
-            print(f"[sidecars: {args.obs_dir}/chaos-{args.seed}"
-                  f".obs.json + .chaos.json]")
-        return 0
+            print(f"[sidecars: {args.obs_dir}/smp-{args.seed}"
+                  f"-c{cpus}.obs.json + .smp.json]")
+    if args.json:
+        from repro.harness.reportio import write_report
+        write_report({"runs": summaries}, args.json)
+    return 0
 
-    if args.command == "conform":
-        from repro.conform.runner import (
-            DEFAULT_CPUS,
-            format_summary,
-            run_conform,
-        )
-        from repro.conform.simrun import STRATEGIES
-        strategies = (args.strategies.split(",") if args.strategies
-                      else list(STRATEGIES))
-        cpus = [args.cpus] if args.cpus is not None else list(DEFAULT_CPUS)
-        report = run_conform(seed=args.seed, cpus=cpus,
-                             strategies=strategies,
-                             depth_bound=args.depth_bound,
-                             budget=args.budget,
-                             scenario_names=args.scenario,
-                             host=not args.no_host,
-                             obs_dir=args.obs_dir)
-        print(format_summary(report))
-        if args.obs_dir:
-            print(f"[sidecars: {args.obs_dir}/conform-{args.seed}"
-                  f".obs.json + .conform.json]")
-        return 0 if report["verdict"] == "conformant" else 1
 
-    if args.command == "smp":
-        from repro.smp.runner import DEFAULT_SWEEP, format_summary, run_smp
-        sweep = [args.cpus] if args.cpus is not None else list(DEFAULT_SWEEP)
-        for index, cpus in enumerate(sweep):
-            if index:
-                print()
-            summary = run_smp(seed=args.seed, num_cpus=cpus,
-                              requests=args.requests,
-                              workload=args.workload,
-                              mix=args.fault_mix,
-                              obs_dir=args.obs_dir)
-            print(format_summary(summary))
-            if args.obs_dir:
-                print(f"[sidecars: {args.obs_dir}/smp-{args.seed}"
-                      f"-c{cpus}.obs.json + .smp.json]")
-        return 0
+def _cmd_bench(args) -> int:
+    from repro.harness.reportio import load_report, write_report
+    from repro.perf.bench import MAX_RATIO, check_gate, run_benchmarks
+
+    report = run_benchmarks(names=args.only)
+    failures = check_gate(report)
+    if args.check:
+        previous = load_report(args.check)
+        prior = {row["name"]: row["host"]["optimized_s"]
+                 for row in previous.get("benchmarks", [])}
+        for row in report["benchmarks"]:
+            before = prior.get(row["name"])
+            now = row["host"]["optimized_s"]
+            if before is not None and now > before * MAX_RATIO:
+                failures.append(
+                    f"{row['name']}: optimized {now:.3f}s regressed "
+                    f">{MAX_RATIO}x vs previous report "
+                    f"({before:.3f}s in {args.check})")
+    path = args.json or BENCH_REPORT
+    write_report(report, path)
+    print(f"[wrote {path}]")
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_figures(args, parser: argparse.ArgumentParser) -> int:
+    from repro.harness.experiments import (
+        DEFAULT_DB_SIZES,
+        FULL_DB_SIZES,
+        copa_ablation,
+        fig3_redis_save,
+        fig4_redis_fork_latency,
+        fig5_redis_memory,
+        fig6_faas_throughput,
+        fig7_nginx_throughput,
+        fig8_hello_fork,
+        fig9_unixbench,
+    )
+    from repro.harness.report import print_table
+    from repro.harness.table1 import table1_rows
+    from repro.mem.layout import MiB
 
     sizes = FULL_DB_SIZES if args.full else DEFAULT_DB_SIZES
     ablation_db = 100 * MiB if args.full else 10 * MiB
     ctx1_fraction = 0.1 if args.full else 0.05
+
+    def _print_compat() -> None:
+        from repro.harness.compat import matrix_rows
+        print_table(matrix_rows(),
+                    title="App x syscall compatibility matrix "
+                          "(Loupe-style)")
 
     experiments = {
         "table1": lambda: print_table(
@@ -222,6 +326,28 @@ def _run_with_sidecar(experiment, name: str, obs_dir: str) -> None:
     path = os.path.join(obs_dir, f"{name}.obs.json")
     write_export(session.export(), path)
     print(f"[obs sidecar: {path}]")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # back-compat: a bare option list ran the figures sweep before the
+    # CLI grew subcommands, and still does
+    if not argv or (argv[0] not in SUBCOMMANDS
+                    and argv[0] not in ("-h", "--help")):
+        argv.insert(0, "figures")
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "figures":
+        return _cmd_figures(args, parser)
+    handlers = {
+        "obs-report": _cmd_obs_report,
+        "chaos": _cmd_chaos,
+        "smp": _cmd_smp,
+        "conform": _cmd_conform,
+        "bench": _cmd_bench,
+    }
+    return handlers[args.command](args)
 
 
 if __name__ == "__main__":

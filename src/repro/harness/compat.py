@@ -12,12 +12,16 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Tuple
 
-from repro.apps.guest import GuestContext
-from repro.core import UForkOS
-from repro.machine import Machine
+# NOTE: this module stays import-light (no OS-stack imports at module
+# scope).  It used to duplicate obsreport's heavy import block, which
+# made ``import repro.harness`` boot the whole simulator before the CLI
+# could even print --help; workloads resolve their dependencies when
+# they actually run, and machine construction goes through the
+# :mod:`repro.api` facade.
 
 
-def _run_hello(os_: UForkOS) -> None:
+def _run_hello(os_: Any) -> None:
+    from repro.apps.guest import GuestContext
     from repro.apps.hello import hello_world_image, run_hello
     ctx = GuestContext(os_, os_.spawn(hello_world_image(), "hello"))
     run_hello(ctx)
@@ -26,7 +30,8 @@ def _run_hello(os_: UForkOS) -> None:
     ctx.wait(child.pid)
 
 
-def _run_redis(os_: UForkOS) -> None:
+def _run_redis(os_: Any) -> None:
+    from repro.apps.guest import GuestContext
     from repro.apps.redis import MiniRedis, redis_image
     from repro.mem.layout import MiB
     proc = os_.spawn(redis_image(1 * MiB), "redis")
@@ -37,14 +42,16 @@ def _run_redis(os_: UForkOS) -> None:
     store.load_from("/dump.rdb")
 
 
-def _run_faas(os_: UForkOS) -> None:
+def _run_faas(os_: Any) -> None:
     from repro.apps.faas import ZygoteRuntime, faas_image
+    from repro.apps.guest import GuestContext
     runtime = ZygoteRuntime(GuestContext(os_, os_.spawn(faas_image(), "z")))
     runtime.warm()
     runtime.handle_request()
 
 
-def _run_nginx(os_: UForkOS) -> None:
+def _run_nginx(os_: Any) -> None:
+    from repro.apps.guest import GuestContext
     from repro.apps.nginx import MiniNginx, WrkClient, nginx_image
     master = GuestContext(os_, os_.spawn(nginx_image(), "nginx"))
     server = MiniNginx(master)
@@ -56,7 +63,8 @@ def _run_nginx(os_: UForkOS) -> None:
     server.shutdown()
 
 
-def _run_qmail(os_: UForkOS) -> None:
+def _run_qmail(os_: Any) -> None:
+    from repro.apps.guest import GuestContext
     from repro.apps.qmail import MiniQmail, qmail_image, send_mail
     master = GuestContext(os_, os_.spawn(qmail_image(), "qmail"))
     server = MiniQmail(master)
@@ -68,15 +76,16 @@ def _run_qmail(os_: UForkOS) -> None:
     server.shutdown()
 
 
-def _run_unixbench(os_: UForkOS) -> None:
+def _run_unixbench(os_: Any) -> None:
     from repro.apps import unixbench
+    from repro.apps.guest import GuestContext
     from repro.apps.hello import hello_world_image
     ctx = GuestContext(os_, os_.spawn(hello_world_image(), "bench"))
     unixbench.spawn(ctx, iterations=2)
     unixbench.context1(ctx, target=3)
 
 
-WORKLOADS: Dict[str, Callable[[UForkOS], None]] = {
+WORKLOADS: Dict[str, Callable[[Any], None]] = {
     "hello": _run_hello,
     "redis": _run_redis,
     "faas": _run_faas,
@@ -86,13 +95,16 @@ WORKLOADS: Dict[str, Callable[[UForkOS], None]] = {
 }
 
 
-def syscalls_used(run: Callable[[UForkOS], None]) -> Dict[str, int]:
+def syscalls_used(run: Callable[[Any], None]) -> Dict[str, int]:
     """Run one workload hermetically; returns syscall → count."""
-    os_ = UForkOS(machine=Machine())
-    run(os_)
+    from repro.api import Session
+
+    # seed=0 matches the old bare Machine() construction bit for bit
+    session = Session(os="ufork", seed=0).boot()
+    run(session.os)
     return {
         name[len("syscall_"):]: count
-        for name, count in os_.machine.counters.snapshot().items()
+        for name, count in session.report()["counters"].items()
         if name.startswith("syscall_") and count > 0
     }
 

@@ -28,36 +28,39 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.apps.guest import GuestContext
-from repro.apps.hello import hello_world_image
-from repro.baselines import MonolithicOS, VMCloneOS
-from repro.core import CopyStrategy, IsolationConfig, UForkOS
-from repro.machine import Machine
 from repro.obs import format_span_tree, validate_export
 
-SYSTEMS: Tuple[Tuple[str, Any, Dict[str, Any]], ...] = (
-    ("ufork", UForkOS, dict(copy_strategy=CopyStrategy.COPA,
-                            isolation=IsolationConfig.fault())),
-    ("cheribsd", MonolithicOS, {}),
-    ("nephele", VMCloneOS, {}),
+# import-light module: the simulator stack is resolved through the
+# repro.api facade when a report actually runs (this module and
+# ``compat`` used to carry duplicate copies of the heavy import block)
+
+#: report row name → :class:`repro.api.Session` keywords.  seed=0 and
+#: the explicit isolation presets match the systems' historical direct
+#: constructions bit for bit (monolithic defaulted to full isolation).
+SYSTEMS: Tuple[Tuple[str, Dict[str, Any]], ...] = (
+    ("ufork", dict(os="ufork", strategy="copa", isolation="fault", seed=0)),
+    ("cheribsd", dict(os="monolithic", isolation="full", seed=0)),
+    ("nephele", dict(os="vmclone", isolation="fault", seed=0)),
 )
 
 
-def run_observed_hello_fork(os_cls, samples: int = 10,
-                            **os_kwargs) -> Any:
+def run_observed_hello_fork(samples: int = 10, **session_kwargs) -> Any:
     """Boot one system, enable observability, run the Fig 8 workload.
 
-    Returns the machine's :class:`~repro.obs.Observability` after
-    ``samples`` fork/exit/wait cycles (plus one unobserved warm-up, so
-    the profile covers steady-state forks only).
+    ``session_kwargs`` go to :class:`repro.api.Session`.  Returns the
+    machine's :class:`~repro.obs.Observability` after ``samples``
+    fork/exit/wait cycles (plus one unobserved warm-up, so the profile
+    covers steady-state forks only).
     """
-    os_ = os_cls(machine=Machine(), **os_kwargs)
-    parent = GuestContext(os_, os_.spawn(hello_world_image(), "hello"))
+    from repro.api import Session
+
+    session = Session(**session_kwargs).boot()
+    parent = session.spawn(name="hello")
     warm = parent.fork()
     warm.exit(0)
     parent.wait(warm.pid)
 
-    obs = os_.machine.obs.enable()
+    obs = session.machine.obs.enable()
     for _ in range(samples):
         child = parent.fork()
         child.exit(0)
@@ -94,8 +97,8 @@ def obs_report(samples: int = 10,
     """Run the workload on every system, print the report, and return
     (optionally writing) the per-system exports."""
     exports: Dict[str, Dict] = {}
-    for index, (name, os_cls, kwargs) in enumerate(SYSTEMS):
-        obs = run_observed_hello_fork(os_cls, samples=samples, **kwargs)
+    for index, (name, session_kwargs) in enumerate(SYSTEMS):
+        obs = run_observed_hello_fork(samples=samples, **session_kwargs)
         _check_invariant(name, obs)
         export = obs.export()
         exports[name] = export
@@ -117,10 +120,8 @@ def obs_report(samples: int = 10,
             print("\n".join(count_lines))
 
     if json_path is not None:
+        from repro.harness.reportio import write_report
         document = {"workload": "fig8_hello_fork", "systems": exports}
-        import json as _json
-        with open(json_path, "w", encoding="utf-8") as handle:
-            handle.write(_json.dumps(document, indent=2, sort_keys=True)
-                         + "\n")
+        write_report(document, json_path)
         print(f"\n[wrote {json_path}]")
     return exports

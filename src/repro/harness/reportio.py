@@ -1,0 +1,41 @@
+"""Canonical JSON report IO, shared by every harness artifact.
+
+Before this module, ``bench``, ``obs-report``, the chaos/SMP/conform
+sidecar writers and the tests each hand-rolled the same
+``json.dumps(..., indent=2, sort_keys=True) + "\\n"`` incantation; one
+drifting copy (different key order, missing trailing newline) breaks
+byte-identical golden comparisons.  All report loading and writing now
+funnels through here.
+
+The format contract: UTF-8, two-space indent, sorted keys, one
+trailing newline — the exact bytes the golden files under
+``tests/golden/`` are stored with.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict
+
+
+def dumps_report(document: Dict[str, Any]) -> str:
+    """The canonical serialized form (sorted keys, trailing newline)."""
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def write_report(document: Dict[str, Any], path: str) -> None:
+    """Write ``document`` to ``path`` in the canonical form, creating
+    parent directories as needed."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps_report(document))
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Load a JSON report written by :func:`write_report` (or any of
+    the harness producers)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

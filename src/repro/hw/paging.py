@@ -19,13 +19,14 @@ from dataclasses import dataclass, field
 from enum import Enum, IntFlag, auto
 from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 
+from repro import perf as _perf
 from repro.cheri.capability import Capability
 from repro.cheri.codec import CAP_SIZE
 from repro.errors import (
     ProtectionError,
     UnmappedAddressError,
 )
-from repro.hw.phys import Frame
+from repro.hw.phys import _ZEROS, Frame
 
 
 class PagePerm(IntFlag):
@@ -42,15 +43,28 @@ class PagePerm(IntFlag):
 
     @classmethod
     def rwc(cls) -> "PagePerm":
+        if _perf.ENABLED:
+            return _PAGE_RWC
         return cls.READ | cls.WRITE | cls.LOAD_CAP
 
     @classmethod
     def read_only(cls) -> "PagePerm":
+        if _perf.ENABLED:
+            return _PAGE_RO
         return cls.READ | cls.LOAD_CAP
 
     @classmethod
     def rx(cls) -> "PagePerm":
+        if _perf.ENABLED:
+            return _PAGE_RX
         return cls.READ | cls.EXEC | cls.LOAD_CAP
+
+
+#: precomputed composite page-permission constants (pure values; the
+#: :mod:`repro.perf` path skips IntFlag ``|`` member resolution)
+_PAGE_RWC = PagePerm.READ | PagePerm.WRITE | PagePerm.LOAD_CAP
+_PAGE_RO = PagePerm.READ | PagePerm.LOAD_CAP
+_PAGE_RX = PagePerm.READ | PagePerm.EXEC | PagePerm.LOAD_CAP
 
 
 class AccessKind(Enum):
@@ -73,6 +87,10 @@ _REQUIRED_PERM = {
     AccessKind.CAP_LOAD: PagePerm.READ | PagePerm.LOAD_CAP,
 }
 
+#: plain-int view of the required-permission masks — the cached walk
+#: compares raw bits to skip IntFlag instantiation on every access
+_REQUIRED_BITS = {kind: int(mask) for kind, mask in _REQUIRED_PERM.items()}
+
 _ACCESS_NAME = {
     AccessKind.READ: "read",
     AccessKind.WRITE: "write",
@@ -80,8 +98,24 @@ _ACCESS_NAME = {
     AccessKind.CAP_LOAD: "cap_load",
 }
 
+# Per-member attributes precomputed for the repro.perf fast paths: an
+# attribute load skips both the Enum.__hash__ dict probe and the
+# per-fault f-string formatting; the values are identical to what the
+# slow path computes.
+for _kind in AccessKind:
+    _kind._req_bits = _REQUIRED_BITS[_kind]
+    _kind._nm = _ACCESS_NAME[_kind]
+    _kind._fault_counter = f"fault_{_ACCESS_NAME[_kind]}"
+    _kind._fault_obs = f"hw.paging.fault.{_ACCESS_NAME[_kind]}"
+del _kind
 
-@dataclass
+#: raw permission-bit masks for the two byte-access kinds, hoisted for
+#: the inline walk-cache probes in :meth:`AddressSpace.read`/``write``
+_READ_BITS = AccessKind.READ._req_bits
+_WRITE_BITS = AccessKind.WRITE._req_bits
+
+
+@dataclass(slots=True)
 class PTE:
     """One page-table entry."""
 
@@ -139,6 +173,27 @@ class AddressSpace:
         self.page_table = PageTable()
         self.fault_handler: Optional[FaultHandler] = None
         self._page_size = machine.config.page_size
+        #: host-side page-walk cache: vpn -> (PTE, Frame).  Entries are
+        #: only trusted while the generation stamp matches, the live
+        #: ``pte.perms`` is re-checked on every hit (so permission
+        #: narrowing — CoW/CoPA sharing — can never be bypassed), and
+        #: every single-vpn table edit (map/unmap/replace_frame) pops
+        #: exactly its own entry.  See :mod:`repro.perf`.
+        self._walk_cache: Dict[int, Tuple[PTE, Frame]] = {}
+        #: generation of the cached entries: the machine-wide TLB
+        #: flush/shootdown generation (cross-core invalidations clear
+        #: the whole cache)
+        self._walk_stamp = -1
+        #: size -> int(round(memcpy_ns_per_byte * size)); sound because
+        #: ``machine.costs`` is a frozen dataclass assigned once at
+        #: machine construction
+        self._charge_memo: Dict[int, int] = {}
+        self._perf = False
+        try:
+            from repro import perf as _perf
+            self._perf = _perf.enabled()
+        except ImportError:  # pragma: no cover - bootstrap ordering
+            pass
 
     # -- mapping ------------------------------------------------------------
 
@@ -151,12 +206,17 @@ class AddressSpace:
             self.machine.phys.incref(frame)
         pte = PTE(frame=frame, perms=perms, cow=cow, note=note)
         self.page_table.set(vpn, pte)
+        # single-vpn edit: only this translation can change, so the walk
+        # cache drops exactly this entry instead of a full generation
+        # bump (which would clear the whole cache on every CoW break)
+        self._walk_cache.pop(vpn, None)
         return pte
 
     def unmap_page(self, vpn: int, decref: bool = True) -> int:
         pte = self.page_table.remove(vpn)
         if decref:
             self.machine.phys.decref(pte.frame)
+        self._walk_cache.pop(vpn, None)
         return pte.frame
 
     def protect_page(self, vpn: int, perms: PagePerm) -> None:
@@ -173,6 +233,8 @@ class AddressSpace:
         if decref_old:
             self.machine.phys.decref(pte.frame)
         pte.frame = frame
+        # the cached tuple holds the *old* Frame object; drop this vpn
+        self._walk_cache.pop(vpn, None)
 
     # -- translation with fault dispatch ---------------------------------------
 
@@ -181,16 +243,52 @@ class AddressSpace:
 
     def resolve(self, vaddr: int, kind: AccessKind,
                 privileged: bool = False) -> Tuple[Frame, int]:
-        """Translate an address, dispatching faults at most once."""
-        vpn = self._vpn(vaddr)
+        """Translate an address, dispatching faults at most once.
+
+        With :mod:`repro.perf` enabled, successful walks are served
+        from a generation-stamped cache: one dict probe plus a raw
+        permission-bit check.  The stamp folds in this table's edit
+        generation and the machine's TLB flush/shootdown generation,
+        so any PTE write or cross-core invalidation drops every cached
+        translation before it can be reused — simulated semantics
+        (fault dispatch order, SMP shootdown behaviour) are identical
+        with the cache on or off.
+        """
+        page_size = self._page_size
+        vpn = vaddr // page_size
+        if self._perf:
+            stamp = self.machine.translation_gen
+            if stamp != self._walk_stamp:
+                self._walk_cache.clear()
+                self._walk_stamp = stamp
+            else:
+                hit = self._walk_cache.get(vpn)
+                if hit is not None:
+                    pte, frame = hit
+                    if privileged:
+                        return frame, vaddr % page_size
+                    bits = kind._req_bits
+                    if (int(pte.perms) & bits) == bits:
+                        return frame, vaddr % page_size
         for attempt in (0, 1):
             pte = self.page_table.get(vpn)
             if pte is not None:
                 if privileged:
-                    return self.machine.phys.frame(pte.frame), vaddr % self._page_size
-                required = _REQUIRED_PERM[kind]
-                if (pte.perms & required) == required:
-                    return self.machine.phys.frame(pte.frame), vaddr % self._page_size
+                    frame = self.machine.phys.frame(pte.frame)
+                    # only perm-complete walks are cached: a privileged
+                    # bypass must never satisfy a later user access
+                    return frame, vaddr % page_size
+                if self._perf:
+                    bits = kind._req_bits
+                    granted = (int(pte.perms) & bits) == bits
+                else:
+                    required = _REQUIRED_PERM[kind]
+                    granted = (pte.perms & required) == required
+                if granted:
+                    frame = self.machine.phys.frame(pte.frame)
+                    if self._perf:
+                        self._walk_cache[vpn] = (pte, frame)
+                    return frame, vaddr % page_size
             if attempt == 1:
                 break
             if not self._dispatch_fault(vaddr, kind):
@@ -207,10 +305,16 @@ class AddressSpace:
         """
         machine = self.machine
         machine.clock.advance(machine.costs.page_fault_ns, "page_fault")
-        machine.counters.add(f"fault_{_ACCESS_NAME[kind]}")
-        machine.obs.count(f"hw.paging.fault.{_ACCESS_NAME[kind]}")
-        machine.trace("page_fault", vaddr=vaddr, kind=_ACCESS_NAME[kind],
-                      space=self.name)
+        if self._perf:
+            machine.counters.add(kind._fault_counter)
+            machine.obs.count(kind._fault_obs)
+            machine.trace("page_fault", vaddr=vaddr, kind=kind._nm,
+                          space=self.name)
+        else:
+            machine.counters.add(f"fault_{_ACCESS_NAME[kind]}")
+            machine.obs.count(f"hw.paging.fault.{_ACCESS_NAME[kind]}")
+            machine.trace("page_fault", vaddr=vaddr, kind=_ACCESS_NAME[kind],
+                          space=self.name)
         if self.fault_handler is None:
             return False
         return self.fault_handler(self, vaddr, kind)
@@ -220,6 +324,41 @@ class AddressSpace:
     def read(self, vaddr: int, size: int, privileged: bool = False,
              charge: bool = True) -> bytes:
         """Read bytes (may span pages)."""
+        if self._perf:
+            offset = vaddr % self._page_size
+            if offset + size <= self._page_size:
+                # single-page fast path: no accumulator, one frame read.
+                # The walk-cache probe, the frame read and the clock
+                # charge are all inlined (bit-identical to the layered
+                # path: same stamp + raw perm-bit checks as the hit
+                # path in :meth:`resolve`, same memcpy charge rounded
+                # through the memo); any miss falls back to resolve.
+                machine = self.machine
+                frame = None
+                if machine.translation_gen == self._walk_stamp:
+                    hit = self._walk_cache.get(vaddr // self._page_size)
+                    if hit is not None:
+                        pte, frame = hit
+                        if not privileged and \
+                                (pte.perms._value_ & _READ_BITS) != _READ_BITS:
+                            frame = None
+                if frame is None:
+                    frame, offset = self.resolve(vaddr, AccessKind.READ,
+                                                 privileged)
+                data = bytes(frame.data[offset:offset + size])
+                if charge:
+                    ns_int = self._charge_memo.get(size)
+                    if ns_int is None:
+                        ns_int = int(round(
+                            machine.costs.memcpy_ns_per_byte * size))
+                        self._charge_memo[size] = ns_int
+                    clock = machine.clock
+                    clock._now_ns += ns_int
+                    buckets = clock.buckets
+                    buckets["mem_read"] = buckets.get("mem_read", 0) + ns_int
+                    if clock.observer is not None:
+                        clock.observer(ns_int, "mem_read")
+                return data
         out = bytearray()
         remaining = size
         addr = vaddr
@@ -238,6 +377,48 @@ class AddressSpace:
     def write(self, vaddr: int, data: bytes, privileged: bool = False,
               charge: bool = True) -> None:
         """Write bytes (may span pages); clears tags of touched granules."""
+        if self._perf:
+            offset = vaddr % self._page_size
+            size = len(data)
+            if offset + size <= self._page_size:
+                # single-page fast path: skips the loop bookkeeping and
+                # the per-chunk payload copy the spanning path makes.
+                # Walk-cache probe, byte store + batched tag clear
+                # (same cleared set as :meth:`Frame.write`) and the
+                # memoised memcpy charge are all inlined, as in
+                # :meth:`read`.
+                machine = self.machine
+                frame = None
+                if machine.translation_gen == self._walk_stamp:
+                    hit = self._walk_cache.get(vaddr // self._page_size)
+                    if hit is not None:
+                        pte, frame = hit
+                        if not privileged and \
+                                (pte.perms._value_ & _WRITE_BITS) != _WRITE_BITS:
+                            frame = None
+                if frame is None:
+                    frame, offset = self.resolve(vaddr, AccessKind.WRITE,
+                                                 privileged)
+                frame.data[offset:offset + size] = data
+                first = offset // CAP_SIZE
+                count = (offset + size - 1) // CAP_SIZE + 1 - first
+                if count > 0:
+                    frame.tags[first:first + count] = \
+                        _ZEROS[:count] if count <= len(_ZEROS) \
+                        else bytes(count)
+                if charge:
+                    ns_int = self._charge_memo.get(size)
+                    if ns_int is None:
+                        ns_int = int(round(
+                            machine.costs.memcpy_ns_per_byte * size))
+                        self._charge_memo[size] = ns_int
+                    clock = machine.clock
+                    clock._now_ns += ns_int
+                    buckets = clock.buckets
+                    buckets["mem_write"] = buckets.get("mem_write", 0) + ns_int
+                    if clock.observer is not None:
+                        clock.observer(ns_int, "mem_write")
+                return
         offset_in_data = 0
         addr = vaddr
         remaining = len(data)

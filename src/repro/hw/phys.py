@@ -20,11 +20,15 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro import perf as _perf
 from repro.cheri.capability import Capability
 from repro.cheri.codec import CAP_SIZE, CapabilityCodec
 from repro.clock import EventCounters, SimClock
 from repro.errors import AlignmentFault, OutOfMemory
 from repro.params import CostModel, MachineConfig
+
+#: shared immutable zero-run used for batched tag clears
+_ZEROS = bytes(4096)
 
 
 class Frame:
@@ -43,10 +47,21 @@ class Frame:
         return bytes(self.data[offset:offset + size])
 
     def write(self, offset: int, data: bytes) -> None:
-        """Raw byte store: clears tags of every overlapped granule."""
+        """Raw byte store: clears tags of every overlapped granule.
+
+        The batched path (:mod:`repro.perf`) clears the whole
+        overlapped granule run with one C-level slice store instead of
+        a Python loop; the cleared set is identical.
+        """
         self.data[offset:offset + len(data)] = data
         first = offset // CAP_SIZE
         last = (offset + len(data) - 1) // CAP_SIZE
+        if _perf.ENABLED:
+            count = last + 1 - first
+            if count > 0:
+                self.tags[first:last + 1] = \
+                    _ZEROS[:count] if count <= len(_ZEROS) else bytes(count)
+            return
         for granule in range(first, last + 1):
             self.tags[granule] = 0
 
@@ -67,7 +82,20 @@ class Frame:
         self.tags[offset // CAP_SIZE] = 1 if cap.valid else 0
 
     def tagged_granules(self) -> List[int]:
-        """Offsets of granules currently holding valid capabilities."""
+        """Offsets of granules currently holding valid capabilities.
+
+        The batched path scans with ``bytearray.find`` (a C memchr
+        loop) instead of a Python ``enumerate`` pass — on the common
+        mostly-untagged frame this is the relocation scan's hot loop.
+        """
+        if _perf.ENABLED:
+            out: List[int] = []
+            find = self.tags.find
+            index = find(1)
+            while index >= 0:
+                out.append(index * CAP_SIZE)
+                index = find(1, index + 1)
+            return out
         return [
             index * CAP_SIZE
             for index, tag in enumerate(self.tags)
@@ -79,6 +107,10 @@ class Frame:
         self.data[:] = other.data
         if preserve_tags:
             self.tags[:] = other.tags
+        elif _perf.ENABLED:
+            count = len(self.tags)
+            self.tags[:] = _ZEROS[:count] if count <= len(_ZEROS) \
+                else bytes(count)
         else:
             for index in range(len(self.tags)):
                 self.tags[index] = 0

@@ -44,6 +44,7 @@ class TLB:
 
     def _do_flush(self) -> None:
         self.flush_count += 1
+        self._machine.translation_gen += 1
         self._machine.clock.advance(self._machine.costs.tlb_flush_ns, "tlb_flush")
         self._machine.counters.add("tlb_flush")
         self._machine.obs.count("hw.tlb.flush")
@@ -52,9 +53,13 @@ class TLB:
         """Shootdown recipient side: invalidate stale translations in
         response to a ``tlb_shootdown`` IPI.  Charged once per
         recipient — this is the f(online CPUs) term of the broadcast
-        cost formula (docs/COSTMODEL.md)."""
+        cost formula (docs/COSTMODEL.md).  Also bumps the machine's
+        translation generation, which drops every host-side page-walk
+        cache (see :mod:`repro.perf`) exactly as the simulated
+        invalidation would on hardware."""
         self.flush_count += 1
         machine = self._machine
+        machine.translation_gen += 1
         machine.clock.advance(machine.costs.tlb_flush_ns, "tlb_shootdown")
         machine.counters.add("tlb_remote_invalidate")
         machine.obs.count("smp.tlb.remote_invalidate")

@@ -22,6 +22,7 @@ from repro.errors import (
     WouldBlock,
 )
 from repro.hw.paging import AddressSpace
+from repro.kernel import signals as _signals
 from repro.kernel.fdtable import FDTable, FileDescription
 from repro.kernel.ipc import MessageQueue, Pipe
 from repro.kernel.net import NetworkStack
@@ -65,6 +66,17 @@ class AbstractOS(abc.ABC):
         self.sched = make_scheduler(self.machine, same_address_space)
         self._mqueues: Dict[str, MessageQueue] = {}
         self._shm: Dict[str, SharedMemoryObject] = {}
+        #: lazily-filled syscall dispatch table: name → (bound handler,
+        #: interned span label), replacing a per-call getattr + f-string.
+        #: Unknown names are never cached — the fuzzer sends garbage and
+        #: a poisoned entry would shadow a handler added to a subclass.
+        self._dispatch: Dict[str, Tuple[Any, str]] = {}
+        self._perf = False
+        try:
+            from repro import perf as _perf
+            self._perf = _perf.enabled()
+        except ImportError:  # pragma: no cover - bootstrap ordering
+            pass
         self.machine.register_kernel(self)
 
     # ------------------------------------------------------------------
@@ -114,14 +126,24 @@ class AbstractOS(abc.ABC):
         faults (EINTR/ENOMEM/EAGAIN) and rolled-back fork failures are
         retried with backoff instead of surfacing to the caller.
         """
-        handler = getattr(self, f"sys_{name}", None)
-        if handler is None:
-            raise InvalidArgument(f"unknown syscall {name!r}")
+        if self._perf:
+            entry = self._dispatch.get(name)
+            if entry is None:
+                handler = getattr(self, f"sys_{name}", None)
+                if handler is None:
+                    raise InvalidArgument(f"unknown syscall {name!r}")
+                entry = (handler, f"syscall.{name}")
+                self._dispatch[name] = entry
+            handler, span_label = entry
+        else:
+            handler = getattr(self, f"sys_{name}", None)
+            if handler is None:
+                raise InvalidArgument(f"unknown syscall {name!r}")
+            span_label = f"syscall.{name}"
         if not proc.alive:
             raise NoSuchProcess(f"process {proc.pid} has exited")
-        with self.machine.obs.span(f"syscall.{name}"):
+        with self.machine.obs.span(span_label):
             # kernel-boundary crossing: deliver pending signals first
-            from repro.kernel import signals as _signals
             _signals.deliver_pending(self, proc)
             if not proc.alive:
                 raise NoSuchProcess(f"process {proc.pid} was terminated")
@@ -363,18 +385,15 @@ class AbstractOS(abc.ABC):
     # ------------------------------------------------------------------
 
     def sys_kill(self, proc: Process, pid: int, signum: int) -> None:
-        from repro.kernel import signals as _signals
         self._enter(proc, "kill", 2)
         target = self.procs.get(pid)
         _signals.send(self, target, signum)
 
     def sys_signal(self, proc: Process, signum: int, handler) -> None:
-        from repro.kernel import signals as _signals
         self._enter(proc, "signal", 2)
         _signals.register(proc, signum, handler)
 
     def sys_sigpending(self, proc: Process):
-        from repro.kernel import signals as _signals
         self._enter(proc, "sigpending", 0)
         return list(_signals.signal_state(proc).pending)
 
@@ -417,7 +436,6 @@ class AbstractOS(abc.ABC):
             self.sched.remove(task)
         self._teardown_memory(proc)
         if proc.parent is not None and proc.parent.alive:
-            from repro.kernel import signals as _signals
             _signals.signal_state(proc.parent).pending.append(
                 _signals.SIGCHLD
             )

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Sequence
+from typing import Any, Dict, Sequence
 
 from repro.cheri.capability import Capability, OTYPE_SENTRY
 from repro.errors import BadAddress, IsolationViolation
@@ -72,6 +72,9 @@ class SyscallLayer:
         self.trapless = trapless
         self.isolation = isolation
         self.invocations = 0
+        #: memoised ``syscall_<name>`` counter strings (the f-string on
+        #: every entry shows up in syscall-heavy workload profiles)
+        self._counter_names: Dict[str, str] = {}
 
     def enter(self, name: str, nargs: int = 0,
               buffer_bytes: Sequence[int] = ()) -> None:
@@ -108,7 +111,11 @@ class SyscallLayer:
                 )
         self.invocations += 1
         self.machine.counters.add("syscall")
-        self.machine.counters.add(f"syscall_{name}")
+        counter_name = self._counter_names.get(name)
+        if counter_name is None:
+            counter_name = f"syscall_{name}"
+            self._counter_names[name] = counter_name
+        self.machine.counters.add(counter_name)
         obs = self.machine.obs
         if obs.enabled:
             obs.count("kernel.syscall.entries")

@@ -24,7 +24,15 @@ class TaskState(Enum):
 
 
 class Task:
-    """One thread of execution."""
+    """One thread of execution.
+
+    ``__slots__`` keeps the per-task footprint flat and attribute loads
+    cheap — the scheduler touches ``state``/``affinity``/``last_cpu`` on
+    every pick, so tasks are the hottest objects in the simulation.
+    """
+
+    __slots__ = ("tid", "process", "registers", "state", "affinity",
+                 "last_cpu")
 
     _next_tid = 1
 
@@ -54,7 +62,18 @@ class Task:
 
 
 class Process:
-    """Kernel-side process object (a μprocess on the SASOS)."""
+    """Kernel-side process object (a μprocess on the SASOS).
+
+    The attributes every kernel touches live in ``__slots__``; the
+    trailing ``__dict__`` slot keeps the object open for the subsystem
+    attachments that hang extra state off a process at runtime (signal
+    state, shm bindings, dynamic-library capabilities, …).
+    """
+
+    __slots__ = ("pid", "name", "parent", "children", "tasks",
+                 "exit_status", "reaped", "region_base", "region_top",
+                 "layout", "allocator", "space", "fdtable",
+                 "syscall_gate", "__dict__")
 
     def __init__(self, pid: int, name: str,
                  parent: Optional["Process"] = None) -> None:

@@ -59,9 +59,19 @@ class Machine:
         #: ``engine.attach(machine)`` — see :mod:`repro.chaos`)
         self.chaos = NULL_CHAOS
         self.counters = EventCounters()
+        #: machine-wide translation generation: bumped by every TLB
+        #: flush and shootdown acknowledgement so the host-side
+        #: page-walk caches (:class:`repro.hw.paging.AddressSpace`)
+        #: drop entries exactly when simulated TLB state is invalidated
+        self.translation_gen = 0
         self.phys = PhysicalMemory(self.config, self.costs, self.clock,
                                    self.counters, obs=self.obs)
         self.codec = CapabilityCodec()
+        #: raw-granule relocation memo (see
+        #: :func:`repro.core.relocate._relocate_frame_memoised`); keyed
+        #: by (region pair, raw bytes), sound because the codec's
+        #: intern table is append-only
+        self._reloc_memo: dict = {}
         self.cores: List[Core] = [
             Core(self, core_id) for core_id in range(self.config.cores)
         ]

@@ -1,0 +1,281 @@
+"""Host-time microbenchmarks for the :mod:`repro.perf` hot paths.
+
+Each microbenchmark drives the *same deterministic workload* twice on
+fresh machines: once with every :mod:`repro.perf` optimisation disabled
+(:func:`repro.perf.perf_disabled` — bit-for-bit the pre-optimisation
+code paths) and once with them enabled.  Because the optimisations are
+host-time only, both runs must land on the **identical simulated
+nanosecond count** — the bench asserts this, so a speedup that changed
+any simulated result fails loudly instead of silently corrupting the
+paper's numbers.
+
+The report (``BENCH_hotpath.json``, schema ``repro.perf/v1``) keeps
+every wall-clock-dependent field inside per-benchmark ``host`` objects
+and the top-level ``host_meta`` object; everything else is a pure
+function of the seed, so two runs are byte-identical modulo those
+fields (tests/test_bench.py checks exactly this).
+
+CI gate: :func:`check_gate` fails when the optimised run is more than
+``max_ratio`` × the baseline on any benchmark (a perf *regression*
+guard — speedups are recorded, slowdowns break the build).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro import perf as _perf
+
+#: report schema identifier
+SCHEMA = "repro.perf/v1"
+
+#: CI regression bound: optimised wall time may not exceed
+#: ``baseline * MAX_RATIO``
+MAX_RATIO = 1.25
+
+
+# ---------------------------------------------------------------------------
+# Workloads — each returns (simulated_ns, config_dict)
+# ---------------------------------------------------------------------------
+
+def _bench_fork_full_copy(forks: int = 12,
+                          db_bytes: int = 512 * 1024
+                          ) -> Tuple[int, Dict[str, Any]]:
+    """Repeated FULL_COPY forks of a populated Redis image.
+
+    Every fork copies and *relocates* the whole region: the per-page
+    tag scan in :meth:`repro.hw.phys.Frame.tagged_granules` and the
+    page-walk cache in :class:`repro.hw.paging.AddressSpace` are the
+    hot paths exercised.
+    """
+    from repro.apps.guest import GuestContext
+    from repro.apps.redis import MiniRedis, populate, redis_image
+    from repro.core import CopyStrategy, IsolationConfig, UForkOS
+    from repro.machine import Machine
+
+    os_ = UForkOS(machine=Machine(),
+                  copy_strategy=CopyStrategy.FULL_COPY,
+                  isolation=IsolationConfig.fault())
+    proc = os_.spawn(redis_image(db_bytes), "redis")
+    store = MiniRedis(GuestContext(os_, proc), nbuckets=256)
+    populate(store, db_bytes, value_size=4096)
+    parent = GuestContext(os_, proc)
+    for _ in range(forks):
+        child = parent.fork()
+        child.exit(0)
+        parent.wait(child.pid)
+    return os_.machine.clock.now_ns, {
+        "forks": forks, "db_bytes": db_bytes, "strategy": "full",
+    }
+
+
+def _bench_fault_storm(rounds: int = 6, pages: int = 192,
+                       rewrites: int = 8) -> Tuple[int, Dict[str, Any]]:
+    """CoPA page-fault storm with post-break write bursts.
+
+    Each round forks, then dirties every parent page — each first write
+    faults: frame copy (batched tag clear), PTE replace and a re-walk —
+    and then re-writes the now-private pages ``rewrites`` more times,
+    the way a fork server keeps using the pages it just broke.  The
+    fault handler's whole stack *and* the page-walk/TLB cache layer are
+    both on the measured path.
+    """
+    from repro.apps.guest import GuestContext
+    from repro.core import CopyStrategy, IsolationConfig, UForkOS
+    from repro.machine import Machine
+    from repro.mem.layout import ProgramImage
+
+    os_ = UForkOS(machine=Machine(),
+                  copy_strategy=CopyStrategy.COPA,
+                  isolation=IsolationConfig.fault())
+    page = os_.machine.config.page_size
+    # right-sized image: the heap holds the storm buffer plus allocator
+    # metadata, and nothing else inflates load time
+    image = ProgramImage(name="storm", got_entries=64,
+                         heap_size=(pages + 64) * page)
+    proc = os_.spawn(image, "storm")
+    parent = GuestContext(os_, proc)
+    buf = parent.malloc(pages * page)
+    seed_bytes = b"\xA5" * 64
+    dirty_bytes = b"\x5A" * 64
+    burst_bytes = b"\x3C" * 64
+    # the driver loop is deliberately minimal (hoisted bound method,
+    # precomputed offsets, positional args) so the measurement is the
+    # simulator's per-store cost, not the benchmark harness's
+    store = parent.store
+    offsets = [index * page for index in range(pages)]
+    for offset in offsets:
+        store(buf, seed_bytes, offset)
+    for _ in range(rounds):
+        child = parent.fork()
+        for offset in offsets:
+            store(buf, dirty_bytes, offset)
+        for _ in range(rewrites):
+            for offset in offsets:
+                store(buf, burst_bytes, offset)
+        child.exit(0)
+        parent.wait(child.pid)
+    return os_.machine.clock.now_ns, {
+        "rounds": rounds, "pages": pages, "rewrites": rewrites,
+        "strategy": "copa",
+    }
+
+
+def _bench_pipe_pingpong(transfers: int = 400, chunk: int = 4096
+                         ) -> Tuple[int, Dict[str, Any]]:
+    """4 KiB pipe round-trips through the full syscall path.
+
+    Exercises syscall dispatch, entry accounting and the user-buffer
+    copies that resolve every page through the address space.
+    """
+    from repro.apps.guest import GuestContext
+    from repro.apps.hello import hello_world_image
+    from repro.core import CopyStrategy, IsolationConfig, UForkOS
+    from repro.machine import Machine
+
+    os_ = UForkOS(machine=Machine(),
+                  copy_strategy=CopyStrategy.COPA,
+                  isolation=IsolationConfig.fault())
+    proc = os_.spawn(hello_world_image(), "pingpong")
+    guest = GuestContext(os_, proc)
+    read_fd, write_fd = guest.syscall("pipe")
+    payload = bytes(range(256)) * (chunk // 256)
+    for _ in range(transfers):
+        guest.write_bytes(write_fd, payload)
+        guest.read_bytes(read_fd, chunk)
+    return os_.machine.clock.now_ns, {
+        "transfers": transfers, "chunk": chunk,
+    }
+
+
+def _bench_conform_explorer(budget: int = 24
+                            ) -> Tuple[int, Dict[str, Any]]:
+    """A slice of the differential conformance explorer (no host
+    oracle): scheduler picks, syscall dispatch and fork/exit churn
+    across many short simulated runs.  The invariant is a digest of
+    the *whole* conformance report, so any perf-mode divergence in any
+    cell or explored schedule trips the cross-mode assertion."""
+    import hashlib
+
+    from repro.conform.runner import run_conform
+
+    scenarios = ["pipe-hello", "wait-exit-status"]
+    report = run_conform(seed=7, cpus=[1], strategies=["full", "copa"],
+                         depth_bound=2, budget=budget,
+                         scenario_names=scenarios, host=False)
+    digest = hashlib.sha256(
+        json.dumps(report, sort_keys=True).encode("utf-8")).hexdigest()
+    return int(digest[:15], 16), {
+        "budget": budget, "strategies": ["full", "copa"],
+        "scenarios": scenarios,
+    }
+
+
+#: benchmark registry: name → workload
+BENCHMARKS: Dict[str, Callable[[], Tuple[int, Dict[str, Any]]]] = {
+    "fork_full_copy": _bench_fork_full_copy,
+    "fault_storm": _bench_fault_storm,
+    "pipe_pingpong": _bench_pipe_pingpong,
+    "conform_explorer": _bench_conform_explorer,
+}
+
+
+# ---------------------------------------------------------------------------
+# The driver
+# ---------------------------------------------------------------------------
+
+def _timed(workload: Callable[[], Tuple[int, Dict[str, Any]]]
+           ) -> Tuple[float, int, Dict[str, Any]]:
+    started = time.perf_counter()
+    simulated, config = workload()
+    return time.perf_counter() - started, simulated, config
+
+
+def run_benchmarks(names: List[str] = None,
+                   verbose: bool = True) -> Dict[str, Any]:
+    """Run each benchmark in both modes and build the report dict."""
+    chosen = names or list(BENCHMARKS)
+    unknown = [name for name in chosen if name not in BENCHMARKS]
+    if unknown:
+        raise KeyError(f"unknown benchmark(s): {unknown}; "
+                       f"choose from {list(BENCHMARKS)}")
+    rows = []
+    for name in chosen:
+        workload = BENCHMARKS[name]
+        # untimed warm-up: pays one-time host costs (module imports,
+        # bytecode compilation) so neither timed run is charged for them
+        with _perf.perf_disabled():
+            workload()
+        with _perf.perf_disabled():
+            base_s, base_sim, config = _timed(workload)
+        with _perf.perf_enabled():
+            opt_s, opt_sim, _ = _timed(workload)
+        if base_sim != opt_sim:
+            raise AssertionError(
+                f"{name}: simulated results diverged across perf modes "
+                f"({base_sim} disabled vs {opt_sim} enabled) — a perf "
+                f"optimisation changed simulated behavior")
+        row = {
+            "name": name,
+            "config": config,
+            #: deterministic integer digest of the run's *simulated*
+            #: results — the simulated clock for machine benches, a
+            #: report digest for the explorer; equal across perf modes
+            "invariant": base_sim,
+            "host": {
+                "baseline_s": round(base_s, 6),
+                "optimized_s": round(opt_s, 6),
+                "speedup": round(base_s / opt_s, 3) if opt_s else 0.0,
+            },
+        }
+        rows.append(row)
+        if verbose:
+            print(f"  {name:<20} baseline {base_s:7.3f}s   "
+                  f"optimized {opt_s:7.3f}s   "
+                  f"speedup {row['host']['speedup']:5.2f}x")
+    return {
+        "schema": SCHEMA,
+        "benchmarks": rows,
+        "host_meta": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        },
+    }
+
+
+def strip_wallclock(report: Dict[str, Any]) -> Dict[str, Any]:
+    """The report with every wall-clock-dependent field removed — the
+    part two runs of the same build must reproduce byte-for-byte."""
+    stable = {key: value for key, value in report.items()
+              if key != "host_meta"}
+    stable["benchmarks"] = [
+        {key: value for key, value in row.items() if key != "host"}
+        for row in report["benchmarks"]
+    ]
+    return stable
+
+
+def check_gate(report: Dict[str, Any],
+               max_ratio: float = MAX_RATIO) -> List[str]:
+    """Regression gate: the failures list is empty when every
+    optimised run stays within ``max_ratio`` × its baseline."""
+    failures = []
+    for row in report["benchmarks"]:
+        host = row["host"]
+        if host["optimized_s"] > host["baseline_s"] * max_ratio:
+            failures.append(
+                f"{row['name']}: optimized {host['optimized_s']:.3f}s "
+                f"exceeds baseline {host['baseline_s']:.3f}s "
+                f"x {max_ratio}")
+    return failures
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    """Persist in the canonical harness report form (single shared
+    writer: :mod:`repro.harness.reportio`)."""
+    from repro.harness.reportio import write_report as _write
+    _write(report, path)

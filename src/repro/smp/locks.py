@@ -18,6 +18,28 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Iterator, Optional
 
+from repro import perf as _perf
+
+
+class _HeldGuard:
+    """Preallocated ``held()`` guard: same acquire/irq/release sequence
+    as the contextmanager path (including the exception path) without
+    creating a generator + wrapper object per critical section.  The
+    guard is stateless, so one instance per lock is safe."""
+
+    __slots__ = ("lock",)
+
+    def __init__(self, lock: "SpinLock") -> None:
+        self.lock = lock
+
+    def __enter__(self) -> None:
+        self.lock.acquire()
+        self.lock.machine.irq_depth += 1
+
+    def __exit__(self, *exc: Any) -> None:
+        self.lock.machine.irq_depth -= 1
+        self.lock.release()
+
 
 class SpinLock:
     """A named, non-reentrant kernel spinlock.
@@ -32,6 +54,7 @@ class SpinLock:
         #: CPU id of the holder, or None when free
         self.owner: Optional[int] = None
         self.acquisitions = 0
+        self._guard = _HeldGuard(self)
 
     def acquire(self) -> None:
         machine = self.machine
@@ -56,10 +79,15 @@ class SpinLock:
                 f"spinlock {self.name!r} released while not held")
         self.owner = None
 
-    @contextmanager
-    def held(self) -> Iterator[None]:
+    def held(self) -> Any:
         """``spin_lock_irqsave``-style guard: the lock plus an
         IRQ-disable section, released even on the error path."""
+        if _perf.ENABLED:
+            return self._guard
+        return self._held_slow()
+
+    @contextmanager
+    def _held_slow(self) -> Iterator[None]:
         self.acquire()
         self.machine.irq_depth += 1
         try:

@@ -85,10 +85,8 @@ def run_smp(seed: int = 7, num_cpus: int = 4, requests: int = 64,
         _os.makedirs(obs_dir, exist_ok=True)
         stem = f"smp-{seed}-c{num_cpus}"
         write_export(export, _os.path.join(obs_dir, f"{stem}.obs.json"))
-        with open(_os.path.join(obs_dir, f"{stem}.smp.json"),
-                  "w", encoding="utf-8") as handle:
-            handle.write(json.dumps(summary, indent=2, sort_keys=True)
-                         + "\n")
+        from repro.harness.reportio import write_report
+        write_report(summary, _os.path.join(obs_dir, f"{stem}.smp.json"))
     return summary
 
 

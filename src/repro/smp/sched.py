@@ -24,8 +24,7 @@ Invariants carried over from the hardened global queue
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Any, Deque, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.kernel.task import Task, TaskState
 
@@ -37,8 +36,11 @@ class SmpScheduler:
         self.machine = machine
         self.same_address_space = same_address_space
         self.num_cpus = machine.num_cpus
-        self._queues: List[Deque[Task]] = [
-            deque() for _ in range(self.num_cpus)
+        #: per-CPU FIFO queues as insertion-ordered sets (dicts), so
+        #: membership tests and mid-queue removal are O(1) while the
+        #: iteration (= dispatch) order stays exactly the old deque's
+        self._queues: List[Dict[Task, None]] = [
+            {} for _ in range(self.num_cpus)
         ]
         self._current: List[Optional[Task]] = [None] * self.num_cpus
         self.switches = 0
@@ -105,7 +107,7 @@ class SmpScheduler:
             return
         cpu = self._place(task)
         was_empty = not self._queues[cpu]
-        self._queues[cpu].append(task)
+        self._queues[cpu][task] = None
         self._observe_depth()
         if cpu != self.machine.current_cpu and was_empty and \
                 self._current[cpu] is None:
@@ -115,12 +117,10 @@ class SmpScheduler:
     def remove(self, task: Task) -> None:
         """Idempotent removal from whichever queue holds the task."""
         for queue in self._queues:
-            try:
-                queue.remove(task)
+            if task in queue:
+                del queue[task]
                 self._observe_depth()
                 break
-            except ValueError:
-                continue
         for cpu, running in enumerate(self._current):
             if running is task:
                 self._current[cpu] = None
@@ -194,10 +194,10 @@ class SmpScheduler:
     def _pick_local(self, cpu: int) -> Optional[Task]:
         queue = self._queues[cpu]
         while queue:
-            task = queue[0]
+            task = next(iter(queue))
             if task.state is TaskState.RUNNABLE:
                 break
-            queue.popleft()
+            del queue[task]
         if not queue:
             return None
         if self.decision_source is not None:
@@ -206,7 +206,7 @@ class SmpScheduler:
             chosen = self.decision_source(candidates)
             if chosen is not None:
                 return chosen
-        return queue[0]
+        return next(iter(queue))
 
     def queued_tasks(self) -> List[Task]:
         """Every task sitting in any per-CPU queue (audit hook)."""
@@ -244,12 +244,12 @@ class SmpScheduler:
         for victim in victims:
             for task in list(self._queues[victim]):
                 if task.state is not TaskState.RUNNABLE:
-                    self._queues[victim].remove(task)
+                    del self._queues[victim][task]
                     continue
                 if not task.can_run_on(cpu):
                     continue
-                self._queues[victim].remove(task)
-                self._queues[cpu].append(task)
+                del self._queues[victim][task]
+                self._queues[cpu][task] = None
                 self.steals += 1
                 machine.charge(machine.costs.work_steal_ns, "steal")
                 machine.obs.count("smp.sched.steals")

@@ -1,0 +1,136 @@
+"""Tests for the repro.perf bench harness and the shared report writer.
+
+The full benchmark suite is slow; these tests run one small benchmark
+end to end (pipe ping-pong with a tiny transfer count exercises the
+same driver machinery) and unit-test the gate/determinism logic on
+synthetic reports.
+"""
+
+import json
+
+import pytest
+
+from repro.harness import reportio
+from repro.perf import bench
+
+
+# ---------------------------------------------------------------------------
+# reportio: the one canonical JSON writer
+# ---------------------------------------------------------------------------
+
+class TestReportIO:
+    def test_canonical_form(self):
+        text = reportio.dumps_report({"b": 1, "a": [2, 3]})
+        # sorted keys, two-space indent, trailing newline — the exact
+        # bytes every golden report in the repo was written with
+        assert text == '{\n  "a": [\n    2,\n    3\n  ],\n  "b": 1\n}\n'
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "sub" / "report.json"
+        doc = {"schema": "x/v1", "rows": [{"n": 1}]}
+        reportio.write_report(doc, str(path))
+        assert reportio.load_report(str(path)) == doc
+        # parent directories are created on demand
+        assert path.parent.is_dir()
+
+    def test_write_is_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        reportio.write_report({"z": 0, "a": 1}, str(a))
+        reportio.write_report({"a": 1, "z": 0}, str(b))
+        assert a.read_bytes() == b.read_bytes()
+
+
+# ---------------------------------------------------------------------------
+# the bench driver
+# ---------------------------------------------------------------------------
+
+def _tiny_pingpong():
+    return bench._bench_pipe_pingpong(transfers=8, chunk=512)
+
+
+class TestRunBenchmarks:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # run one real benchmark through the real driver, scaled down
+        original = bench.BENCHMARKS["pipe_pingpong"]
+        bench.BENCHMARKS["pipe_pingpong"] = _tiny_pingpong
+        try:
+            return bench.run_benchmarks(names=["pipe_pingpong"],
+                                        verbose=False)
+        finally:
+            bench.BENCHMARKS["pipe_pingpong"] = original
+
+    def test_schema_and_shape(self, report):
+        assert report["schema"] == bench.SCHEMA
+        (row,) = report["benchmarks"]
+        assert row["name"] == "pipe_pingpong"
+        assert row["config"] == {"transfers": 8, "chunk": 512}
+        assert row["invariant"] > 0
+        host = row["host"]
+        assert set(host) == {"baseline_s", "optimized_s", "speedup"}
+        assert host["baseline_s"] > 0 and host["optimized_s"] > 0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            bench.run_benchmarks(names=["nope"])
+
+    def test_determinism_modulo_wallclock(self, report):
+        # a second run must agree byte for byte once wall-clock fields
+        # are stripped: the invariant digests the simulated results
+        original = bench.BENCHMARKS["pipe_pingpong"]
+        bench.BENCHMARKS["pipe_pingpong"] = _tiny_pingpong
+        try:
+            again = bench.run_benchmarks(names=["pipe_pingpong"],
+                                         verbose=False)
+        finally:
+            bench.BENCHMARKS["pipe_pingpong"] = original
+        first = reportio.dumps_report(bench.strip_wallclock(report))
+        second = reportio.dumps_report(bench.strip_wallclock(again))
+        assert first == second
+
+    def test_strip_wallclock_drops_only_host_fields(self, report):
+        stable = bench.strip_wallclock(report)
+        assert "host_meta" not in stable
+        assert all("host" not in row for row in stable["benchmarks"])
+        assert [row["name"] for row in stable["benchmarks"]] == \
+            [row["name"] for row in report["benchmarks"]]
+        # json-serializable without help
+        json.dumps(stable)
+
+
+class TestCheckGate:
+    @staticmethod
+    def _report(baseline_s, optimized_s):
+        return {"schema": bench.SCHEMA, "benchmarks": [{
+            "name": "synthetic", "config": {}, "invariant": 1,
+            "host": {"baseline_s": baseline_s,
+                     "optimized_s": optimized_s,
+                     "speedup": baseline_s / optimized_s},
+        }]}
+
+    def test_passes_within_ratio(self):
+        assert bench.check_gate(self._report(1.0, 1.2)) == []
+        assert bench.check_gate(self._report(1.0, 0.4)) == []
+
+    def test_fails_beyond_ratio(self):
+        failures = bench.check_gate(self._report(1.0, 1.3))
+        assert len(failures) == 1
+        assert "synthetic" in failures[0]
+
+    def test_custom_ratio(self):
+        assert bench.check_gate(self._report(1.0, 1.05),
+                                max_ratio=1.01) != []
+
+
+class TestCrossModeInvariant:
+    def test_divergence_is_fatal(self, monkeypatch):
+        # a "benchmark" whose simulated result depends on the perf mode
+        # must crash the driver, not produce a report
+        from repro import perf
+
+        def _mode_dependent():
+            return (1 if perf.ENABLED else 2), {}
+
+        monkeypatch.setitem(bench.BENCHMARKS, "diverge", _mode_dependent)
+        with pytest.raises(AssertionError, match="diverged"):
+            bench.run_benchmarks(names=["diverge"], verbose=False)

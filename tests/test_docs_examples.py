@@ -18,6 +18,8 @@ DOCS = [
     REPO_ROOT / "docs" / "CHAOS.md",
     REPO_ROOT / "docs" / "SMP.md",
     REPO_ROOT / "docs" / "CONFORMANCE.md",
+    REPO_ROOT / "docs" / "API.md",
+    REPO_ROOT / "docs" / "COSTMODEL.md",
 ]
 
 _FENCE_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)

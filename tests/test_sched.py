@@ -120,7 +120,7 @@ def build_smp_sched(specs):
         if exited:
             task.state = TaskState.EXITED
         # place directly: the fuzz controls queue shape, not _place()
-        sched._queues[queue].append(task)
+        sched._queues[queue][task] = None
         tasks.append(task)
     return sched, tasks
 

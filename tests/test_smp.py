@@ -194,7 +194,7 @@ class TestSmpScheduler:
         machine = smp_machine(2)
         sched = SmpScheduler(machine, True)
         first, second = make_task(100), make_task(101)
-        sched._queues[0].extend([first, second])
+        sched._queues[0].update({first: None, second: None})
         stolen = sched.steal_into(1)
         assert stolen is first                  # oldest waiter migrates
         assert first in sched._queues[1]
@@ -205,7 +205,7 @@ class TestSmpScheduler:
         sched = SmpScheduler(machine, True)
         pinned = make_task()
         pinned.pin(0)
-        sched._queues[0].append(pinned)
+        sched._queues[0][pinned] = None
         assert sched.steal_into(1) is None
         assert pinned in sched._queues[0]
 
@@ -213,7 +213,7 @@ class TestSmpScheduler:
         machine = smp_machine(2)
         sched = SmpScheduler(machine, True)
         dead = make_task()
-        sched._queues[0].append(dead)
+        sched._queues[0][dead] = None
         dead.state = TaskState.EXITED
         assert sched.steal_into(1) is None
         assert dead not in sched._queues[0]     # reaped from the queue
