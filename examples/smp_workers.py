@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Multi-core fork: per-CPU run queues, work stealing, shootdown IPIs.
 
-Boots the same machine with 1, 2 and 4 online CPUs and drives the
-zygote FaaS workload (Fig 6) across them, then demonstrates the §2.2
+Boots the same machine with 1, 2 and 4 online CPUs — through the
+stable `repro.api.Session` facade (`cpus=N`) — and drives the zygote
+FaaS workload (Fig 6) across them, then demonstrates the §2.2
 lightweightness argument directly: classic fork must broadcast TLB
 shootdowns to every other online CPU, while μFork consults the
 μprocess's CPU footprint and sends none for a single-threaded parent.
@@ -10,36 +11,90 @@ shootdowns to every other online CPU, while μFork consults the
 Run:  python examples/smp_workers.py
 """
 
+from repro.api import Session
+from repro.apps.faas import ZygoteRuntime, faas_image
+from repro.smp.exec import SmpExecutor
 from repro.smp.runner import format_summary, run_smp
+
+
+def faas_throughput(cpus: int, requests: int = 64) -> dict:
+    """Per-CPU workers forking the warm zygote, via the facade."""
+    session = Session(os="ufork", cpus=cpus, seed=7).boot()
+    zygote = session.spawn(faas_image(), name="zygote")
+    runtime = ZygoteRuntime(zygote)
+    runtime.warm()
+
+    ex = SmpExecutor(session.os)
+    remaining = [requests]
+    completed = [0]
+
+    def make_worker(worker_task):
+        def step():
+            if remaining[0] <= 0:
+                return None
+            remaining[0] -= 1
+            result = runtime.handle_request()
+            assert result.ok
+            completed[0] += 1
+            ex.submit(worker_task, step)
+            return None
+        return step
+
+    zygote_regs = zygote.proc.main_task().registers
+    for _ in range(cpus):
+        worker = zygote.proc.add_task()
+        worker.registers.copy_from(zygote_regs)
+        ex.submit(worker, make_worker(worker))
+    makespan = ex.run()
+    return {
+        "throughput_rps": completed[0] / (makespan / 1e9),
+        "steals": session.machine.counters.get("work_steal"),
+        "ipis": session.machine.ipi.sent,
+    }
+
+
+def fork_ipis(os_name: str, cpus: int, cycles: int = 16) -> dict:
+    """Back-to-back fork/exit cycles from a single-threaded parent."""
+    session = Session(os=os_name, cpus=cpus, seed=7).boot()
+    ctx = session.spawn(name=os_name)
+    before = session.machine.clock.now_ns
+    for _ in range(cycles):
+        child = ctx.fork()
+        child.exit(0)
+        ctx.wait(child.pid)
+    elapsed = session.machine.clock.now_ns - before
+    return {
+        "per_fork_ns": elapsed / cycles,
+        "shootdown_ipis": session.machine.counters.get(
+            "tlb_shootdown_ipis"),
+    }
 
 
 def main() -> None:
     print("FaaS zygote throughput vs online CPUs (64 requests):\n")
     base = None
     for cpus in (1, 2, 4):
-        summary = run_smp(seed=7, num_cpus=cpus, requests=64,
-                          workload="faas")
+        stats = faas_throughput(cpus)
         if base is None:
-            base = summary["throughput_rps"]
-        speedup = summary["throughput_rps"] / base
-        print(f"  {cpus} CPU(s): {summary['throughput_rps']:8.0f} req/s "
-              f"({speedup:.2f}x)  steals={summary['steals']} "
-              f"ipis={summary['ipi']['sent']}")
+            base = stats["throughput_rps"]
+        speedup = stats["throughput_rps"] / base
+        print(f"  {cpus} CPU(s): {stats['throughput_rps']:8.0f} req/s "
+              f"({speedup:.2f}x)  steals={stats['steals']} "
+              f"ipis={stats['ipis']}")
 
     print("\nWhy fork's gap widens with cores (§2.2) — shootdown IPIs "
           "per 16 fork/exit cycles from a single-threaded parent:\n")
     for cpus in (1, 2, 4, 8):
-        summary = run_smp(seed=7, num_cpus=cpus, requests=16,
-                          workload="forkbench")
-        systems = summary["systems"]
+        ufork = fork_ipis("ufork", cpus)
+        mono = fork_ipis("monolithic", cpus)
         print(f"  {cpus} CPU(s): "
-              f"ufork {systems['ufork']['shootdown_ipis']:3d} IPIs "
-              f"({systems['ufork']['per_fork_ns'] / 1e3:6.1f} us/fork)   "
-              f"monolithic {systems['monolithic']['shootdown_ipis']:3d} "
-              f"IPIs ({systems['monolithic']['per_fork_ns'] / 1e3:6.1f} "
-              f"us/fork)")
+              f"ufork {ufork['shootdown_ipis']:3d} IPIs "
+              f"({ufork['per_fork_ns'] / 1e3:6.1f} us/fork)   "
+              f"monolithic {mono['shootdown_ipis']:3d} "
+              f"IPIs ({mono['per_fork_ns'] / 1e3:6.1f} us/fork)")
 
-    print("\nFull per-CPU breakdown of the 4-core FaaS run:\n")
+    print("\nFull per-CPU breakdown of the 4-core FaaS run "
+          "(the SMP runner behind `python -m repro.harness smp`):\n")
     print(format_summary(run_smp(seed=7, num_cpus=4, requests=64,
                                  workload="faas")))
 

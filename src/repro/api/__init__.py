@@ -174,6 +174,34 @@ class Session:
         self.boot()
         return workload(self)
 
+    # -- cluster hooks (docs/CLUSTER.md) ---------------------------------
+
+    def warm_pool(self, size: int, *, image: Optional[Any] = None,
+                  warm: Optional[Callable[[Any], None]] = None,
+                  name: str = "zygote"):
+        """Spawn one zygote, warm it, and fork ``size`` serving workers.
+
+        The scale-out primitive of :mod:`repro.cluster`: returns a
+        :class:`repro.cluster.pool.WarmPool` whose ``fork_worker`` /
+        ``retire`` grow and shrink this session's serving capacity one
+        fast fork (or one exit/reap) at a time.  ``warm`` is called
+        once with the zygote's :class:`GuestContext` before any worker
+        is forked.
+        """
+        self.boot()
+        from repro.cluster.pool import WarmPool
+        return WarmPool(self, size, image=image, warm=warm, name=name)
+
+    def obs_export(self) -> Dict[str, Any]:
+        """This session's ``repro.obs/v1`` export, ready for
+        :func:`repro.obs.merge_exports` — how the cluster runner folds
+        per-shard metrics into one report.  Requires ``obs=True``.
+        """
+        if not self.obs_enabled:
+            raise ValueError("obs_export() needs Session(obs=True)")
+        self.boot()
+        return self.machine.obs.export()
+
     # -- reporting -------------------------------------------------------
 
     def report(self) -> Dict[str, Any]:

@@ -1,0 +1,151 @@
+"""Deterministic consistent-hash load balancing and request batching.
+
+The balancer is the cluster's front door: every request key maps to a
+shard through a consistent-hash ring (:class:`ConsistentHashRing`), and
+requests bound for the same shard are coalesced into batches
+(:class:`Batcher`) so the per-dispatch network costs amortize
+(docs/COSTMODEL.md, "The cluster cost model").
+
+Hash positions come from BLAKE2b over the key bytes — never Python's
+builtin ``hash``, whose per-process randomization would break the
+byte-identical-report guarantee.  Same seed + same shard count ⇒ the
+identical ring and the identical key→shard map, across processes and
+platforms (tests/test_cluster_determinism.py); growing the ring by one
+shard remaps only ~1/(N+1) of the key universe, the property that makes
+resharding cheap.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from hashlib import blake2b
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+def _position(data: bytes, seed: int) -> int:
+    """A stable 64-bit ring position for ``data``."""
+    digest = blake2b(data, digest_size=8,
+                     salt=seed.to_bytes(8, "little", signed=False))
+    return int.from_bytes(digest.digest(), "big")
+
+
+class ConsistentHashRing:
+    """A seeded consistent-hash ring over ``shards`` shards.
+
+    Each shard contributes ``vnodes`` virtual nodes so load spreads
+    evenly; lookups walk clockwise from the key's position to the next
+    virtual node.
+    """
+
+    def __init__(self, shards: int, vnodes: int = 64, seed: int = 0) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.shards = shards
+        self.vnodes = vnodes
+        self.seed = seed
+        points: List[Tuple[int, int]] = []
+        for shard in range(shards):
+            for vnode in range(vnodes):
+                token = b"shard-%d-vnode-%d" % (shard, vnode)
+                points.append((_position(token, seed), shard))
+        points.sort()
+        self._positions = [position for position, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    def shard_of(self, key: int) -> int:
+        """The shard owning ``key`` (clockwise successor on the ring)."""
+        position = _position(key.to_bytes(8, "little", signed=False),
+                             self.seed)
+        index = bisect_right(self._positions, position)
+        if index == len(self._positions):
+            index = 0
+        return self._owners[index]
+
+    def shard_map(self, keys: int) -> List[int]:
+        """Precomputed owner for every key in ``range(keys)`` — the hot
+        path does one list index per request instead of one hash."""
+        return [self.shard_of(key) for key in range(keys)]
+
+
+# ---------------------------------------------------------------------------
+# Request batching
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Batch:
+    """One open batch bound for one shard."""
+
+    shard: int
+    open_ns: int
+    #: (arrival_ns, klass) per member, in arrival order
+    members: List[Tuple[int, int]] = field(default_factory=list)
+
+
+class Batcher:
+    """Coalesce same-shard requests under a window/size policy.
+
+    A batch dispatches when it reaches ``max_batch`` members (closing
+    at the triggering arrival) or when its flush timer fires — modeled
+    as closing at ``open_ns + window_ns`` the moment a later arrival
+    observes the window has passed.  ``add`` returns the batches that
+    closed, in dispatch order; ``flush`` drains what is still open.
+    """
+
+    def __init__(self, shards: int, window_ns: int, max_batch: int) -> None:
+        self.window_ns = window_ns
+        self.max_batch = max_batch
+        self._open: List[Optional[Batch]] = [None] * shards
+        self.batches = 0
+        self.max_size = 0
+        self.held_requests = 0
+
+    def add(self, shard: int, arrival_ns: int,
+            klass: int) -> Iterator[Tuple[Batch, int]]:
+        """Route one request; yields ``(batch, close_ns)`` for every
+        batch this arrival caused to dispatch."""
+        batch = self._open[shard]
+        if batch is not None and arrival_ns - batch.open_ns > self.window_ns:
+            self._open[shard] = None
+            yield self._account(batch), batch.open_ns + self.window_ns
+            batch = None
+        if batch is None:
+            batch = Batch(shard=shard, open_ns=arrival_ns)
+            self._open[shard] = batch
+        batch.members.append((arrival_ns, klass))
+        if len(batch.members) >= self.max_batch:
+            self._open[shard] = None
+            yield self._account(batch), arrival_ns
+
+    def flush(self) -> Iterator[Tuple[Batch, int]]:
+        """Dispatch every still-open batch at its timer deadline."""
+        for shard, batch in enumerate(self._open):
+            if batch is not None:
+                self._open[shard] = None
+                yield self._account(batch), batch.open_ns + self.window_ns
+
+    def _account(self, batch: Batch) -> Batch:
+        self.batches += 1
+        size = len(batch.members)
+        self.held_requests += size
+        if size > self.max_size:
+            self.max_size = size
+        return batch
+
+    def mean_size_ppm(self) -> int:
+        """Mean batch size in parts-per-million (integer, so reports
+        stay float-free)."""
+        if not self.batches:
+            return 0
+        return (self.held_requests * 1_000_000) // self.batches
+
+
+def remap_fraction_ppm(before: List[int], after: List[int]) -> int:
+    """Fraction (ppm) of keys whose owner changed between two shard
+    maps — the consistent-hashing stability metric the tests assert."""
+    if len(before) != len(after) or not before:
+        raise ValueError("shard maps must be same-length and non-empty")
+    moved = sum(1 for a, b in zip(before, after) if a != b)
+    return (moved * 1_000_000) // len(before)

@@ -1,0 +1,51 @@
+"""Cross-shard μprocess migration: rebalancing a hot shard.
+
+Because every serving worker is a μFork fork of a shard-local zygote
+(:mod:`repro.cluster.pool`), a worker's identity splits cleanly into
+two parts: the warm runtime state it *shares* with the zygote — present
+on every shard already — and the CoW-divergent pages it has written
+since fork.  Migration therefore only puts the divergent pages on the
+wire:
+
+1. the source shard quiesces and retires the worker through the real
+   exit/reap path (frames, PTEs and the PID are released by the
+   kernel, verified by the leak auditor);
+2. the divergent bytes are charged at the cluster wire rate on top of
+   ``migration_fixed_ns`` (docs/COSTMODEL.md);
+3. the target shard fast-forks a replacement from *its* zygote — the
+   same μFork relocation machinery as any fork, on the target machine.
+
+This zygote-anchored scheme is the cluster-scale payoff of the paper's
+fast-fork path: moving a worker costs one reap, one fork, and the wire
+time of only its private state.  (Full checkpoint/restore of arbitrary
+divergent μprocesses is the ROADMAP's snapshot item, not this module.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.cluster.params import ClusterCosts
+
+
+def migrate_worker(source: Any, target: Any,
+                   costs: ClusterCosts) -> Dict[str, int]:
+    """Move one worker's capacity from ``source`` to ``target`` shard.
+
+    Returns the migration record for the ``repro.cluster/v1`` report:
+    the divergent bytes transferred and the simulated cost
+    ``migration_ns = migration_fixed_ns + bytes × wire_ns_per_byte``.
+    The new worker is not serviceable until that cost has elapsed —
+    the runner adds it to the target's capacity at ``now + ns``.
+    """
+    divergent = source.pool.divergent_bytes()
+    source.pool.retire()
+    source.session.machine.obs.count("cluster.migrate.out")
+    target.pool.fork_worker()
+    target.session.machine.obs.count("cluster.migrate.in")
+    return {
+        "from": source.index,
+        "to": target.index,
+        "divergent_bytes": divergent,
+        "ns": costs.migration_ns(divergent),
+    }

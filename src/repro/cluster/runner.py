@@ -1,0 +1,304 @@
+"""The cluster runner behind ``python -m repro.harness cluster``.
+
+Boots N independent shard machines (each a real
+:class:`repro.api.Session` with a zygote warm pool), synthesizes a
+planet-scale request trace (:mod:`repro.cluster.trace`), routes it
+through the deterministic consistent-hash balancer with batching
+(:mod:`repro.cluster.balancer`), serves it against per-shard capacity
+whose service times are *calibrated on the real machines*, rebalances
+hot shards by migrating workers (:mod:`repro.cluster.migrate`), and
+merges every shard's ``repro.obs/v1`` export into one
+``repro.cluster/v1`` report with p50/p99/p999 latency and makespan.
+
+Everything is a pure function of the keyword arguments: the trace, the
+ring, the calibrated service times, the migration schedule and the
+merged observability export are all seed-deterministic, so two
+same-argument runs emit **byte-identical** reports
+(tests/test_cluster_determinism.py pins this; the CI cluster job
+uploads the artifact).
+
+Scale note: requests are *simulated through the cluster's queueing
+model* at ~μs-per-request host cost, while a budgeted subset (per-class
+calibration plus ``audit`` requests per shard) executes on the real
+machines — which is what makes a million-request run finish in CI
+minutes without the model ever detaching from measured mechanism.
+
+Like the chaos/smp/conform runners, this module imports the full OS
+stack and is *not* re-exported from :mod:`repro.cluster`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os as _os
+from array import array
+from dataclasses import asdict
+from typing import Any, Dict, List, Optional
+
+from repro.cluster.balancer import Batcher, ConsistentHashRing
+from repro.cluster.params import DEFAULT_CLUSTER_COSTS, ClusterCosts
+from repro.cluster.trace import RECORD, TraceConfig, synthesize
+
+#: schema tag for the report / ``*.cluster.json`` sidecar
+RUN_SCHEMA = "repro.cluster/v1"
+
+#: the acceptance-scale default: one million simulated requests
+DEFAULT_REQUESTS = 1_000_000
+
+#: per-class request probabilities in ppm, aligned with trace.CLASSES
+_CLASS_PROB_PPM = (800_000, 120_000, 20_000, 60_000)
+
+#: 3.9-compatible popcount table for the unique-user bitset
+_POPCOUNT = [bin(value).count("1") for value in range(256)]
+
+
+def _auto_trace(seed: int, requests: int, keys: int, users: int,
+                shard_objs: List[Any], workers_total: int,
+                utilization_ppm: int) -> TraceConfig:
+    """Size the trace horizon from the *calibrated* service times so the
+    offered load sits at ``utilization_ppm`` of cluster capacity —
+    peaks saturate, troughs drain, and the defaults stay sane at any
+    request count or cost model."""
+    total = 0
+    for shard in shard_objs:
+        total += sum(ns * prob for ns, prob
+                     in zip(shard.service_by_klass, _CLASS_PROB_PPM)
+                     ) // 1_000_000
+    mean_service_ns = max(1, total // len(shard_objs))
+    horizon_ns = (requests * mean_service_ns * 1_000_000
+                  // (workers_total * utilization_ppm))
+    slots = min(1_440, max(8, requests // 32))
+    slot_ns = max(1_000, horizon_ns // slots)
+    return TraceConfig(seed=seed, requests=requests, keys=keys,
+                       users=users, slots=slots, slot_ns=slot_ns)
+
+
+def run_cluster(*, seed: int = 42, shards: int = 4, workers: int = 4,
+                requests: int = DEFAULT_REQUESTS, keys: int = 16_384,
+                users: int = 4_000_000, cpus: int = 1,
+                strategy: str = "copa", audit: int = 16,
+                vnodes: int = 64, max_migrations: int = 8,
+                rebalance_every: Optional[int] = None,
+                utilization_ppm: int = 550_000,
+                costs: Optional[ClusterCosts] = None,
+                trace: Optional[TraceConfig] = None,
+                obs_dir: Optional[str] = None) -> Dict[str, Any]:
+    """Serve one synthesized trace on a sharded cluster; returns the
+    JSON-ready ``repro.cluster/v1`` report.
+
+    With ``obs_dir`` set, writes two sidecars there:
+    ``cluster-<seed>.obs.json`` (the merged ``repro.obs/v1`` export,
+    also embedded in the report under ``"obs"``) and
+    ``cluster-<seed>.cluster.json`` (the report itself), through
+    :mod:`repro.harness.reportio`.
+    """
+    from repro.cluster.shard import Shard
+    from repro.cluster.migrate import migrate_worker
+    from repro.obs import obs_session, to_json, write_export
+
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    costs = costs or DEFAULT_CLUSTER_COSTS
+    if rebalance_every is None:
+        rebalance_every = max(1_000, requests // 8)
+
+    with obs_session() as session:
+        shard_objs = [
+            Shard(index, seed=seed + 7_919 * index + 1, workers=workers,
+                  cpus=cpus, strategy=strategy, audit=audit)
+            for index in range(shards)
+        ]
+        if trace is None:
+            trace = _auto_trace(seed, requests, keys, users, shard_objs,
+                                shards * workers, utilization_ppm)
+        ring = ConsistentHashRing(shards, vnodes=vnodes, seed=seed)
+        key_shard = ring.shard_map(trace.keys)
+
+        # -- the serving loop (hot path: ~µs of host time per request) --
+        latencies = array("q")
+        lat_append = latencies.append
+        batcher = Batcher(shards, costs.batch_window_ns, costs.max_batch)
+        free: List[List[int]] = [[0] * workers for _ in range(shards)]
+        service = [shard.service_by_klass for shard in shard_objs]
+        per_request = costs.per_request_overhead_ns
+        per_batch = costs.per_batch_overhead_ns
+        hop = costs.net_hop_ns
+        shard_load = [0] * shards
+        user_bits = bytearray((trace.users >> 3) + 1)
+        hasher = hashlib.sha256()
+        pack = RECORD.pack
+        last_completion = 0
+        migrations: List[Dict[str, int]] = []
+
+        def dispatch(batch: Any, close_ns: int) -> None:
+            nonlocal last_completion
+            slot_list = free[batch.shard]
+            busy_until = close_ns + per_batch
+            worker = slot_list.index(min(slot_list))
+            if slot_list[worker] > busy_until:
+                busy_until = slot_list[worker]
+            by_klass = service[batch.shard]
+            for arrival, klass in batch.members:
+                busy_until += by_klass[klass]
+                lat_append(busy_until + hop + per_request - arrival)
+            slot_list[worker] = busy_until
+            if busy_until > last_completion:
+                last_completion = busy_until
+
+        def rebalance(now: int, at_request: int) -> None:
+            backlogs = [sum(f - now for f in slot_list if f > now)
+                        for slot_list in free]
+            hot = backlogs.index(max(backlogs))
+            donors = [s for s in range(shards)
+                      if s != hot and len(free[s]) > 1]
+            if not donors:
+                return
+            cold = min(donors, key=lambda s: (backlogs[s], s))
+            if backlogs[hot] <= (2 * backlogs[cold]
+                                 + costs.migration_fixed_ns):
+                return
+            record = migrate_worker(shard_objs[cold], shard_objs[hot],
+                                    costs)
+            idle = free[cold].index(min(free[cold]))
+            free[cold].pop(idle)
+            free[hot].append(now + record["ns"])
+            record["at_request"] = at_request
+            record["at_ns"] = now
+            migrations.append(record)
+
+        index = 0
+        next_rebalance = rebalance_every
+        for arrival, user, key, klass in synthesize(trace):
+            hasher.update(pack(arrival, user, key, klass))
+            user_bits[user >> 3] |= 1 << (user & 7)
+            shard = key_shard[key]
+            shard_load[shard] += 1
+            shard_obj = shard_objs[shard]
+            if shard_obj.audit_left > 0:
+                shard_obj.observe(klass)
+            for batch, close_ns in batcher.add(shard, arrival, klass):
+                dispatch(batch, close_ns)
+            index += 1
+            if index == next_rebalance:
+                next_rebalance += rebalance_every
+                if len(migrations) < max_migrations:
+                    rebalance(arrival, index)
+        for batch, close_ns in batcher.flush():
+            dispatch(batch, close_ns)
+
+        for shard, shard_obj in enumerate(shard_objs):
+            shard_obj.requests = shard_load[shard]
+        per_shard = [shard_obj.stats() for shard_obj in shard_objs]
+        merged_obs = session.export()
+
+    # -- aggregation ----------------------------------------------------
+    ordered = sorted(latencies)
+    count = len(ordered)
+
+    def percentile(q_ppm: int) -> int:
+        if not count:
+            return 0
+        rank = (q_ppm * count + 999_999) // 1_000_000  # nearest rank
+        return ordered[max(0, rank - 1)]
+
+    unique_users = sum(_POPCOUNT[byte] for byte in user_bits)
+    report: Dict[str, Any] = {
+        "schema": RUN_SCHEMA,
+        "seed": seed,
+        "shards": shards,
+        "workers": workers,
+        "cpus": cpus,
+        "strategy": strategy,
+        "requests": trace.requests,
+        "trace": {
+            "digest_sha256": hasher.hexdigest(),
+            "keys": trace.keys,
+            "users": trace.users,
+            "unique_users": unique_users,
+            "slots": trace.slots,
+            "slot_ns": trace.slot_ns,
+            "horizon_ns": trace.horizon_ns,
+            "zipf_s": trace.zipf_s,
+            "flash_crowds": trace.flash_crowds,
+        },
+        "latency_ns": {
+            "p50": percentile(500_000),
+            "p99": percentile(990_000),
+            "p999": percentile(999_000),
+            "mean": (sum(ordered) // count) if count else 0,
+            "min": ordered[0] if count else 0,
+            "max": ordered[-1] if count else 0,
+        },
+        "makespan_ns": last_completion,
+        "throughput_rps": (trace.requests * 1_000_000_000
+                           // last_completion) if last_completion else 0,
+        "batches": {
+            "count": batcher.batches,
+            "mean_size_ppm": batcher.mean_size_ppm(),
+            "max_size": batcher.max_size,
+        },
+        "balancer": {
+            "vnodes": vnodes,
+            "shard_load": shard_load,
+            "hottest_share_ppm": (max(shard_load) * 1_000_000
+                                  // trace.requests)
+            if trace.requests else 0,
+        },
+        "migrations": migrations,
+        "costs": asdict(costs),
+        "per_shard": per_shard,
+        "obs": merged_obs,
+    }
+
+    if obs_dir is not None:
+        from repro.harness.reportio import write_report
+
+        _os.makedirs(obs_dir, exist_ok=True)
+        stem = f"cluster-{seed}"
+        write_export(merged_obs,
+                     _os.path.join(obs_dir, f"{stem}.obs.json"))
+        write_report(report,
+                     _os.path.join(obs_dir, f"{stem}.cluster.json"))
+    return report
+
+
+def format_summary(report: Dict[str, Any]) -> str:
+    """Render a cluster report for the CLI."""
+    latency = report["latency_ns"]
+    batches = report["batches"]
+    balancer = report["balancer"]
+    lines = [
+        f"cluster run: shards={report['shards']} "
+        f"workers={report['workers']}/shard seed={report['seed']} "
+        f"strategy={report['strategy']} requests={report['requests']:,}",
+        f"  trace: {report['trace']['unique_users']:,} unique users of "
+        f"{report['trace']['users']:,}, {report['trace']['keys']:,} keys "
+        f"(zipf {report['trace']['zipf_s']}), "
+        f"{report['trace']['flash_crowds']} flash crowds over "
+        f"{report['trace']['horizon_ns'] / 1e9:.2f} simulated s",
+        f"  latency: p50={latency['p50'] / 1e6:.3f} ms "
+        f"p99={latency['p99'] / 1e6:.3f} ms "
+        f"p999={latency['p999'] / 1e6:.3f} ms "
+        f"max={latency['max'] / 1e6:.3f} ms",
+        f"  makespan={report['makespan_ns'] / 1e9:.3f} s "
+        f"throughput={report['throughput_rps']:,} req/s",
+        f"  batches: {batches['count']:,} "
+        f"(mean {batches['mean_size_ppm'] / 1e6:.2f} req, "
+        f"max {batches['max_size']}); hottest shard carries "
+        f"{balancer['hottest_share_ppm'] / 1e4:.1f}% of traffic",
+    ]
+    for migration in report["migrations"]:
+        lines.append(
+            f"  migration @req {migration['at_request']:,}: shard "
+            f"{migration['from']} -> {migration['to']} "
+            f"({migration['divergent_bytes']} divergent bytes, "
+            f"{migration['ns'] / 1e6:.2f} ms)")
+    for shard in report["per_shard"]:
+        lines.append(
+            f"  shard {shard['shard']}: {shard['requests']:,} reqs "
+            f"({shard['workers']} workers, {shard['audited']} audited, "
+            f"{shard['forks']} real forks) "
+            f"digest={shard['kernel_state_digest'][:16]}…")
+    return "\n".join(lines)

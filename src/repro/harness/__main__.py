@@ -15,6 +15,8 @@ Usage::
     python -m repro.harness conform --budget 100 --no-host
     python -m repro.harness bench                    # writes BENCH_hotpath.json
     python -m repro.harness bench --only fault_storm --json out.json
+    python -m repro.harness cluster --seed 42        # 1M-request cluster run
+    python -m repro.harness cluster --shards 2 --requests 50000 --json out.json
 
 Every subcommand owns exactly its own flags (``figures --depth-bound``
 is an error, not silence) and shares the common ``--seed``, ``--cpus``,
@@ -31,7 +33,8 @@ import time
 from typing import List, Optional
 
 #: every subcommand; the first is the implied default for bare flags
-SUBCOMMANDS = ("figures", "obs-report", "chaos", "smp", "conform", "bench")
+SUBCOMMANDS = ("figures", "obs-report", "chaos", "smp", "conform", "bench",
+               "cluster")
 
 #: default output path for the bench report (the BENCH_* trajectory)
 BENCH_REPORT = "BENCH_hotpath.json"
@@ -135,6 +138,27 @@ def _build_parser() -> argparse.ArgumentParser:
                             "this path (>25%% slowdown on any "
                             "benchmark fails)")
 
+    cluster = sub.add_parser(
+        "cluster", parents=[parent],
+        help="sharded multi-machine serving cluster (docs/CLUSTER.md); "
+             "emits a deterministic repro.cluster/v1 report")
+    cluster.add_argument("--shards", type=int, default=4,
+                         help="number of shard machines")
+    cluster.add_argument("--workers", type=int, default=4,
+                         help="warm-pool workers per shard")
+    cluster.add_argument("--requests", type=int, default=1_000_000,
+                         help="simulated requests in the synthesized "
+                              "trace")
+    cluster.add_argument("--keys", type=int, default=16_384,
+                         help="key universe size (Zipf ranks)")
+    cluster.add_argument("--users", type=int, default=4_000_000,
+                         help="simulated user population")
+    cluster.add_argument("--audit", type=int, default=16,
+                         help="requests per shard re-executed on the "
+                              "real machine (0 disables auditing)")
+    cluster.add_argument("--max-migrations", type=int, default=8,
+                         help="cap on cross-shard worker migrations")
+
     return parser
 
 
@@ -234,6 +258,25 @@ def _cmd_bench(args) -> int:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    from repro.cluster.runner import format_summary, run_cluster
+    report = run_cluster(seed=args.seed, shards=args.shards,
+                         workers=args.workers, requests=args.requests,
+                         keys=args.keys, users=args.users,
+                         cpus=args.cpus or 1, audit=args.audit,
+                         max_migrations=args.max_migrations,
+                         obs_dir=args.obs_dir)
+    print(format_summary(report))
+    if args.json:
+        from repro.harness.reportio import write_report
+        write_report(report, args.json)
+        print(f"[wrote {args.json}]")
+    if args.obs_dir:
+        print(f"[sidecars: {args.obs_dir}/cluster-{args.seed}"
+              f".obs.json + .cluster.json]")
     return 0
 
 
@@ -346,6 +389,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "smp": _cmd_smp,
         "conform": _cmd_conform,
         "bench": _cmd_bench,
+        "cluster": _cmd_cluster,
     }
     return handlers[args.command](args)
 

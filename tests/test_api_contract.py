@@ -65,6 +65,18 @@ class TestSurface:
         assert list(inspect.signature(Session.boot).parameters) == \
             ["self"]
 
+    def test_cluster_hook_signatures(self):
+        # docs/API.md "Cluster hooks": warm_pool's knobs are keyword-only
+        pool = inspect.signature(Session.warm_pool).parameters
+        assert list(pool) == ["self", "size", "image", "warm", "name"]
+        for name in ("image", "warm", "name"):
+            assert pool[name].kind is inspect.Parameter.KEYWORD_ONLY
+        assert pool["image"].default is None
+        assert pool["warm"].default is None
+        assert pool["name"].default == "zygote"
+        assert list(inspect.signature(Session.obs_export).parameters) \
+            == ["self"]
+
 
 class TestValidation:
     def test_unknown_names_fail_at_construction(self):

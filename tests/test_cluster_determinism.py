@@ -1,0 +1,107 @@
+"""Determinism contract of the cluster layer (docs/CLUSTER.md).
+
+The trace synthesizer must be a pure function of its config (two
+same-seed streams byte-equal), the consistent-hash ring must produce
+the identical key→shard map across runs, and the full cluster report
+must serialize to the same bytes for the same arguments — the property
+the CI cluster job's uploaded artifact is diffable by.
+"""
+
+from repro.cluster import (
+    RECORD,
+    ConsistentHashRing,
+    TraceConfig,
+    remap_fraction_ppm,
+    slot_counts,
+    synthesize,
+    trace_digest,
+)
+
+SMALL = TraceConfig(seed=13, requests=3_000, keys=128, users=9_999,
+                    slots=24, slot_ns=1_000_000)
+
+
+class TestTraceDeterminism:
+    def test_same_config_byte_equal_streams(self):
+        packed_a = b"".join(RECORD.pack(*r) for r in synthesize(SMALL))
+        packed_b = b"".join(RECORD.pack(*r) for r in synthesize(SMALL))
+        assert packed_a == packed_b
+        assert len(packed_a) == RECORD.size * SMALL.requests
+
+    def test_digest_matches_stream_and_pins(self):
+        assert trace_digest(SMALL) == trace_digest(SMALL)
+        assert trace_digest(SMALL, limit=100) == \
+            trace_digest(SMALL.scaled(), limit=100)
+
+    def test_different_seeds_differ(self):
+        assert trace_digest(SMALL) != trace_digest(SMALL.scaled(seed=14))
+
+    def test_request_count_exact_at_awkward_sizes(self):
+        for requests in (1, 7, 23, 1_000, 3_001):
+            cfg = SMALL.scaled(requests=requests)
+            assert sum(slot_counts(cfg)) == requests
+            assert sum(1 for _ in synthesize(cfg)) == requests
+
+    def test_arrivals_ordered_within_horizon(self):
+        arrivals = [r[0] for r in synthesize(SMALL)]
+        assert arrivals == sorted(arrivals)
+        assert 0 <= arrivals[0] and arrivals[-1] < SMALL.horizon_ns
+
+    def test_record_fields_in_range(self):
+        for arrival, user, key, klass in synthesize(SMALL):
+            assert 0 <= user < SMALL.users
+            assert 0 <= key < SMALL.keys
+            assert 0 <= klass < 4
+
+
+class TestRingDeterminism:
+    def test_identical_shard_maps_across_instances(self):
+        ring_a = ConsistentHashRing(shards=5, vnodes=32, seed=99)
+        ring_b = ConsistentHashRing(shards=5, vnodes=32, seed=99)
+        assert ring_a.shard_map(2_048) == ring_b.shard_map(2_048)
+
+    def test_seed_changes_the_ring(self):
+        map_a = ConsistentHashRing(shards=5, seed=1).shard_map(2_048)
+        map_b = ConsistentHashRing(shards=5, seed=2).shard_map(2_048)
+        assert map_a != map_b
+
+    def test_every_shard_gets_keys(self):
+        owners = ConsistentHashRing(shards=4, seed=0).shard_map(4_096)
+        assert set(owners) == set(range(4))
+
+    def test_growing_the_ring_remaps_a_bounded_fraction(self):
+        before = ConsistentHashRing(shards=4, vnodes=64, seed=7)
+        after = ConsistentHashRing(shards=5, vnodes=64, seed=7)
+        moved = remap_fraction_ppm(before.shard_map(8_192),
+                                   after.shard_map(8_192))
+        # ideal is 1/5 = 200_000 ppm; a naive mod-N rehash moves ~4/5
+        assert 50_000 < moved < 400_000
+
+    def test_surviving_keys_keep_their_owner(self):
+        before = ConsistentHashRing(shards=4, vnodes=64, seed=7)
+        after = ConsistentHashRing(shards=5, vnodes=64, seed=7)
+        for key in range(512):
+            if after.shard_of(key) != 4:
+                assert after.shard_of(key) == before.shard_of(key)
+
+
+class TestReportDeterminism:
+    def test_same_args_byte_identical_reports(self):
+        from repro.cluster import run_cluster
+        from repro.harness.reportio import dumps_report
+
+        kwargs = dict(seed=5, shards=2, workers=2, requests=1_500,
+                      keys=128, users=4_000, audit=1)
+        assert dumps_report(run_cluster(**kwargs)) == \
+            dumps_report(run_cluster(**kwargs))
+
+    def test_seed_changes_the_report(self):
+        from repro.cluster import run_cluster
+
+        kwargs = dict(shards=2, workers=2, requests=1_500,
+                      keys=128, users=4_000, audit=0)
+        report_a = run_cluster(seed=5, **kwargs)
+        report_b = run_cluster(seed=6, **kwargs)
+        assert report_a["trace"]["digest_sha256"] != \
+            report_b["trace"]["digest_sha256"]
+        assert report_a["latency_ns"] != report_b["latency_ns"]

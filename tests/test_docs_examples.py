@@ -20,6 +20,7 @@ DOCS = [
     REPO_ROOT / "docs" / "CONFORMANCE.md",
     REPO_ROOT / "docs" / "API.md",
     REPO_ROOT / "docs" / "COSTMODEL.md",
+    REPO_ROOT / "docs" / "CLUSTER.md",
 ]
 
 _FENCE_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
