@@ -13,6 +13,8 @@ Usage::
     python -m repro.harness smp --cpus 4 --seed 7    # one SMP run
     python -m repro.harness smp                      # 1/2/4/8 sweep
     python -m repro.harness conform --budget 100 --no-host
+    python -m repro.harness conform-farm --workers 4 --depth 5 --seed 0
+    python -m repro.harness conform-farm --workers 2 --depth 4 --chaos
     python -m repro.harness bench                    # writes BENCH_hotpath.json
     python -m repro.harness bench --only fault_storm --json out.json
     python -m repro.harness cluster --seed 42        # 1M-request cluster run
@@ -33,8 +35,8 @@ import time
 from typing import List, Optional
 
 #: every subcommand; the first is the implied default for bare flags
-SUBCOMMANDS = ("figures", "obs-report", "chaos", "smp", "conform", "bench",
-               "cluster")
+SUBCOMMANDS = ("figures", "obs-report", "chaos", "smp", "conform",
+               "conform-farm", "bench", "cluster")
 
 #: default output path for the bench report (the BENCH_* trajectory)
 BENCH_REPORT = "BENCH_hotpath.json"
@@ -124,6 +126,40 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="skip the host-POSIX oracle and diff "
                               "strategies against each other")
 
+    conform_farm = sub.add_parser(
+        "conform-farm", parents=[parent],
+        help="parallel exploration farm: the interleaving explorer "
+             "sharded over OS worker processes (docs/CONFORMANCE.md)")
+    conform_farm.add_argument("--workers", type=int, default=4,
+                              help="OS worker processes (each its own "
+                                   "session/process group)")
+    conform_farm.add_argument("--depth", type=int, default=5,
+                              help="max schedule deviations per explored "
+                                   "interleaving")
+    conform_farm.add_argument("--budget", type=int, default=None,
+                              help="schedules explored per "
+                                   "(scenario, strategy, cpus) unit")
+    conform_farm.add_argument("--chaos", action="store_true",
+                              help="inject faults during exploration "
+                                   "(deterministic per (seed, schedule))")
+    conform_farm.add_argument("--chaos-mix", metavar="SPEC", default=None,
+                              help="override the --chaos injection rates "
+                                   "(pattern=rate,...; implies --chaos)")
+    conform_farm.add_argument("--scenario", action="append", default=None,
+                              help="run only this scenario (repeatable)")
+    conform_farm.add_argument("--strategies", metavar="LIST", default=None,
+                              help="comma-separated fork strategies "
+                                   "(default: monolithic,full,coa,copa)")
+    conform_farm.add_argument("--cpus-list", metavar="LIST", default=None,
+                              help="comma-separated CPU counts per unit "
+                                   "(default: 1,2,4,8; --cpus pins one)")
+    conform_farm.add_argument("--timeout", type=float, default=None,
+                              help="per-worker wall-clock deadline in "
+                                   "seconds before group SIGKILL")
+    conform_farm.add_argument("--work-dir", metavar="DIR", default=None,
+                              help="keep per-worker spec/result shard "
+                                   "files in DIR (CI artifact material)")
+
     bench = sub.add_parser(
         "bench", parents=[parent],
         help="host-time microbenchmarks of the repro.perf hot paths; "
@@ -207,6 +243,45 @@ def _cmd_conform(args) -> int:
     if args.obs_dir:
         print(f"[sidecars: {args.obs_dir}/conform-{args.seed}"
               f".obs.json + .conform.json]")
+    return 0 if report["verdict"] == "conformant" else 1
+
+
+def _cmd_conform_farm(args) -> int:
+    from repro.conform.farm import (
+        DEFAULT_BUDGET,
+        DEFAULT_CPUS,
+        DEFAULT_TIMEOUT,
+        format_farm_summary,
+        run_farm,
+    )
+    strategies = args.strategies.split(",") if args.strategies else None
+    if args.cpus is not None:
+        cpus = [args.cpus]
+    elif args.cpus_list:
+        cpus = [int(n) for n in args.cpus_list.split(",")]
+    else:
+        cpus = list(DEFAULT_CPUS)
+    report = run_farm(seed=args.seed, workers=args.workers,
+                      depth_bound=args.depth,
+                      budget=(args.budget if args.budget is not None
+                              else DEFAULT_BUDGET),
+                      chaos=args.chaos, chaos_mix=args.chaos_mix,
+                      scenario_names=args.scenario,
+                      strategies=strategies, cpus=cpus,
+                      timeout=(args.timeout if args.timeout is not None
+                               else DEFAULT_TIMEOUT),
+                      work_dir=args.work_dir)
+    print(format_farm_summary(report))
+    from repro.harness.reportio import write_report
+    if args.json:
+        write_report(report, args.json)
+        print(f"[wrote {args.json}]")
+    if args.obs_dir:
+        import os as _os
+        write_report(report, _os.path.join(
+            args.obs_dir, f"conform-farm-{args.seed}.farm.json"))
+        print(f"[sidecar: {args.obs_dir}/conform-farm-{args.seed}"
+              f".farm.json]")
     return 0 if report["verdict"] == "conformant" else 1
 
 
@@ -388,6 +463,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chaos": _cmd_chaos,
         "smp": _cmd_smp,
         "conform": _cmd_conform,
+        "conform-farm": _cmd_conform_farm,
         "bench": _cmd_bench,
         "cluster": _cmd_cluster,
     }

@@ -2,10 +2,27 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.machine import Machine, live_machines
 from repro.params import CostModel, MachineConfig
+
+
+def pytest_collection_modifyitems(config, items):
+    """Keep tier-1 fast: ``farm``-marked torture runs only execute in
+    their own CI job (``REPRO_FARM_TESTS=1``) or when selected
+    explicitly with ``-m farm``."""
+    if os.environ.get("REPRO_FARM_TESTS") == "1":
+        return
+    if "farm" in (config.option.markexpr or ""):
+        return
+    skip_farm = pytest.mark.skip(
+        reason="farm tier: set REPRO_FARM_TESTS=1 or run -m farm")
+    for item in items:
+        if "farm" in item.keywords:
+            item.add_marker(skip_farm)
 
 
 @pytest.fixture(autouse=True)

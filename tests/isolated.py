@@ -1,72 +1,16 @@
-"""Run a fork-heavy snippet in an isolated process group.
-
-The pattern (borrowed from pytest-isolated's subprocess execution
-model) is what keeps the host-oracle tests from ever wedging the
-suite: the snippet runs in its own session — so its whole fork tree
-shares one process group — under a hard wall-clock timeout; on overrun
-the *group* gets SIGKILL, which reaches orphans even after they have
-been reparented to init, and the child is always reaped.  Crashes are
-reported with the signal name, not just a return code.
+"""Thin re-export shim: the group-isolation helper was promoted to
+:mod:`repro.conform.isolated` so the exploration farm
+(:mod:`repro.conform.farm`) can spawn its workers with it.  Tests keep
+importing from here; the implementation lives in ``src``.
 """
 
 from __future__ import annotations
 
-import os
-import signal
-import subprocess
-import sys
-from dataclasses import dataclass
+from repro.conform.isolated import (  # noqa: F401
+    REPO_SRC,
+    IsolatedProcess,
+    IsolatedResult,
+    run_isolated,
+)
 
-REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(
-    os.path.abspath(__file__))), "src")
-
-
-@dataclass
-class IsolatedResult:
-    returncode: int
-    stdout: str
-    stderr: str
-    timed_out: bool
-
-    @property
-    def crashed(self) -> bool:
-        return self.returncode < 0
-
-    @property
-    def crash_reason(self) -> str:
-        """Human-readable outcome, pytest-isolated style."""
-        if self.timed_out:
-            return "timed out (process group killed)"
-        if self.returncode < 0:
-            try:
-                name = signal.Signals(-self.returncode).name
-            except ValueError:
-                name = f"signal {-self.returncode}"
-            return f"crashed with {name}"
-        return f"exited with code {self.returncode}"
-
-
-def run_isolated(code: str, timeout: float = 20.0,
-                 pythonpath: str = REPO_SRC) -> IsolatedResult:
-    """Execute ``code`` with the interpreter in a new session; kill the
-    whole process group on timeout and reap before returning."""
-    env = dict(os.environ)
-    env["PYTHONPATH"] = pythonpath
-    proc = subprocess.Popen(
-        [sys.executable, "-c", code],
-        stdout=subprocess.PIPE,
-        stderr=subprocess.PIPE,
-        start_new_session=True,
-        text=True,
-        env=env,
-    )
-    try:
-        out, err = proc.communicate(timeout=timeout)
-        return IsolatedResult(proc.returncode, out, err, timed_out=False)
-    except subprocess.TimeoutExpired:
-        try:
-            os.killpg(proc.pid, signal.SIGKILL)
-        except (ProcessLookupError, PermissionError):
-            pass
-        out, err = proc.communicate()
-        return IsolatedResult(proc.returncode, out, err, timed_out=True)
+__all__ = ["REPO_SRC", "IsolatedProcess", "IsolatedResult", "run_isolated"]

@@ -4,11 +4,14 @@ invariant enforcement — including under injected faults.
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
+import repro.conform.explorer as explorer_mod
 from repro.chaos import ChaosEngine, FaultMix
 from repro.conform.dsl import Scenario
-from repro.conform.explorer import explore
+from repro.conform.explorer import _run_schedule, explore
 from repro.conform.invariants import (
     check_end_state,
     check_invariants,
@@ -55,6 +58,113 @@ def test_corpus_sweep_no_violations(strategy):
                          seed=7, depth_bound=2, budget=15)
         assert result["violations"] == [], (
             f"{scenario.name} [{strategy}]: {result['violations'][:3]}")
+
+
+def test_budget_counts_executed_schedules_exactly(monkeypatch):
+    """The budget is spent on *executed* schedules, not on frontier
+    entries: a run with budget N performs exactly N schedule
+    executions (canonical run included) when at least N are
+    reachable."""
+    executed = []
+    real = explorer_mod._run_schedule
+
+    def counting(*args, **kwargs):
+        executed.append(args[4])        # the schedule
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(explorer_mod, "_run_schedule", counting)
+    result = explore(by_name("contended-pipe"), strategy="copa",
+                     num_cpus=2, seed=7, depth_bound=3, budget=37)
+    assert len(executed) == 37
+    assert result["schedules"] == 37
+    assert executed[0] == {}            # canonical always runs first
+
+
+def test_budget_one_runs_only_the_canonical_schedule(monkeypatch):
+    executed = []
+    real = explorer_mod._run_schedule
+
+    def counting(*args, **kwargs):
+        executed.append(args[4])
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(explorer_mod, "_run_schedule", counting)
+    result = explore(by_name("pipe-hello"), strategy="copa",
+                     num_cpus=2, seed=7, depth_bound=3, budget=1)
+    assert executed == [{}]
+    assert result["schedules"] == 1
+    assert result["max_depth"] == 0
+    assert result["frontier_left"] > 0  # work remained, budget stopped us
+
+
+def test_budget_below_one_is_rejected():
+    with pytest.raises(ValueError):
+        explore(by_name("pipe-hello"), budget=0)
+
+
+def test_drained_frontier_stops_short_of_budget():
+    """When fewer schedules are reachable than the budget allows,
+    exploration executes exactly the reachable set and reports an
+    empty frontier — never re-running or padding to the budget."""
+    result = explore(by_name("pipe-hello"), strategy="copa", num_cpus=2,
+                     seed=0, depth_bound=3, budget=5000)
+    assert result["frontier_left"] == 0
+    assert 0 < result["schedules"] < 5000
+
+
+def test_depth_five_reachable_within_a_small_budget():
+    """The depth-first frontier priority makes deep deviations
+    reachable without burning the budget on breadth."""
+    result = explore(by_name("contended-pipe"), strategy="copa",
+                     num_cpus=2, seed=0, depth_bound=5, budget=12)
+    assert result["max_depth"] >= 5
+    assert result["violations"] == []
+
+
+def test_chaos_exploration_is_deterministic_and_never_silent():
+    mix = "default=0.0,core.ufork.abort.*=0.2,kernel.syscall.eintr=0.1"
+    first = explore(by_name("pipe-grandchild"), strategy="copa",
+                    num_cpus=2, seed=5, depth_bound=3, budget=40,
+                    chaos_mix=mix)
+    second = explore(by_name("pipe-grandchild"), strategy="copa",
+                     num_cpus=2, seed=5, depth_bound=3, budget=40,
+                     chaos_mix=mix)
+    assert json.dumps(first, sort_keys=True) == \
+        json.dumps(second, sort_keys=True)
+    assert first["chaos"] is True
+    # a hot mix kills some schedules; every death is counted, and an
+    # injected fault is never promoted to a kernel violation
+    assert first["chaos_deaths"] > 0
+    assert first["violations"] == []
+
+
+def test_filed_violation_replays_byte_identically(monkeypatch):
+    """The reproduction contract: a violation's filed ``(seed,
+    schedule)`` pair, replayed through ``_run_schedule``, reproduces
+    the violation byte-for-byte."""
+    from repro.hw.phys import PhysicalMemory
+
+    def leaky_decref(self, number):
+        frame = self.frame(number)
+        if frame.refcount > 1:
+            frame.refcount -= 1
+        # the final release is silently dropped: the frame stays
+        # allocated, so the end-state audit must see a leak
+
+    monkeypatch.setattr(PhysicalMemory, "decref", leaky_decref)
+    result = explore(by_name("pipe-hello"), strategy="copa", num_cpus=2,
+                     seed=3, depth_bound=2, budget=6)
+    leaks = [v for v in result["violations"] if v["kind"] == "leak"]
+    assert leaks, "the broken kernel must be caught"
+    # replay a non-canonical schedule if one was filed
+    filed = next((v for v in reversed(leaks) if v["schedule"]), leaks[0])
+    schedule = {int(k): v for k, v in filed["schedule"].items()}
+    _trace, _meta, violations = _run_schedule(
+        by_name("pipe-hello"), "copa", 2, filed["seed"], schedule)
+    replayed = [v for v in violations if v["kind"] == "leak"]
+    assert [json.dumps(v, sort_keys=True) for v in replayed] == \
+        [json.dumps(v, sort_keys=True) for v in leaks
+         if v["schedule"] == filed["schedule"]]
 
 
 def test_schedule_divergence_is_reported():
