@@ -192,6 +192,38 @@ class Session:
         from repro.cluster.pool import WarmPool
         return WarmPool(self, size, image=image, warm=warm, name=name)
 
+    # -- snapshot hooks (docs/SNAPSHOT.md) -------------------------------
+
+    def checkpoint(self, pid: int, *, incremental: bool = False) -> bytes:
+        """Serialize the μprocess ``pid`` into a ``repro.snapshot/v1``
+        blob (:mod:`repro.snapshot`): registers, page mappings, page
+        bytes with capability tags recorded *logically*, allocator
+        metadata, fd-table policy and signal dispositions.
+
+        ``incremental=True`` captures only the pages that diverged from
+        the zygote since fork (refcount-1 frames) — the payload of a
+        live migration (docs/CLUSTER.md); apply it with
+        :meth:`restore` on a fork twin via :func:`repro.snapshot.restore_into`.
+        """
+        self.boot()
+        from repro.snapshot import checkpoint as _checkpoint
+        return _checkpoint(self.os, self.os.procs.get(pid),
+                           incremental=incremental)
+
+    def restore(self, blob: bytes, *, name: Optional[str] = None) -> int:
+        """Rebuild a checkpointed μprocess from ``blob`` in this
+        session's OS and return the new pid.
+
+        Every capability is re-minted through the fork relocation path
+        (:func:`repro.core.relocate.relocate_cap`) against the restored
+        process's freshly reserved region, so restoring on a different
+        machine — or a different seed — yields a process whose logical
+        behaviour is identical to the uninterrupted original.
+        """
+        self.boot()
+        from repro.snapshot import restore as _restore
+        return _restore(self.os, blob, name=name).pid
+
     def obs_export(self) -> Dict[str, Any]:
         """This session's ``repro.obs/v1`` export, ready for
         :func:`repro.obs.merge_exports` — how the cluster runner folds

@@ -34,6 +34,7 @@ from repro.chaos.faults import (
     InjectedFault,
     InjectedForkFailure,
     InjectedInterrupt,
+    InjectedRestoreFailure,
     InjectedSyscallNoMem,
     InjectedWouldBlock,
     InjectionPoint,
@@ -57,6 +58,7 @@ __all__ = [
     "InjectedFault",
     "InjectedForkFailure",
     "InjectedInterrupt",
+    "InjectedRestoreFailure",
     "InjectedSyscallNoMem",
     "InjectedWouldBlock",
     "InjectionPoint",

@@ -74,6 +74,17 @@ class InjectedForkFailure(KernelError, InjectedFault):
     retriable = True
 
 
+class InjectedRestoreFailure(KernelError, InjectedFault):
+    """A snapshot restore died mid-flight and was fully rolled back.
+
+    Like :class:`InjectedForkFailure`, the restore transaction releases
+    every frame, PTE, PID and fd the partial restore had claimed before
+    this is raised, so the caller may simply retry the restore."""
+
+    errno_name = "EAGAIN"
+    retriable = True
+
+
 # ---------------------------------------------------------------------------
 # The injection-point catalog
 # ---------------------------------------------------------------------------
@@ -163,6 +174,19 @@ register_point(
     "core.ufork.abort.allocator",
     "fork dies after allocator handoff, just before the child is "
     "published")
+register_point(
+    "core.snapshot.abort.reserve",
+    "restore dies right after reserving the new μprocess's VA area")
+register_point(
+    "core.snapshot.abort.pages",
+    "restore dies after materialising the snapshot's pages")
+register_point(
+    "core.snapshot.abort.registers",
+    "restore dies after re-minting the register file")
+register_point(
+    "core.snapshot.abort.allocator",
+    "restore dies after allocator re-attachment, just before the "
+    "restored μprocess is published")
 register_point(
     "core.strategies.cap_fault_storm",
     "a CoPA capability-load break is hit by a storm of spurious "

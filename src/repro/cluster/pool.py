@@ -66,27 +66,37 @@ class WarmPool:
         self.session.machine.obs.count("cluster.pool.retired")
         return pid
 
-    def divergent_bytes(self, worker: Any = None) -> int:
-        """Bytes of CoW-divergent (privately owned) pages of ``worker``
-        (default: the worker ``retire`` would pick).
+    def divergent_vpns(self, worker: Any = None) -> set:
+        """The CoW-divergent (privately owned, refcount-1) virtual page
+        numbers of ``worker`` (default: the worker ``retire`` would
+        pick).
 
         A freshly forked worker shares almost everything with the
         zygote; only pages it has written since fork are private.  This
-        is exactly the state a cross-shard migration must put on the
-        wire — everything else re-forks from the target's own zygote
-        (docs/CLUSTER.md, "Migration semantics")."""
+        is exactly the page set an incremental snapshot
+        (:func:`repro.snapshot.checkpoint`) captures and a cross-shard
+        migration must put on the wire — everything else re-forks from
+        the target's own zygote (docs/CLUSTER.md, "Migration
+        semantics")."""
         if worker is None:
             if not self.workers:
-                return 0
+                return set()
             worker = self.workers[-1]
         os_ = self.session.os
         machine = self.session.machine
         page = machine.config.page_size
         proc = worker.proc
         table = os_.space.page_table
-        private = 0
-        for vpn in range(proc.region_base // page, proc.region_top // page):
-            pte = table.get(vpn)
-            if pte is not None and machine.phys.refcount(pte.frame) == 1:
-                private += 1
-        return private * page
+        return {
+            vpn
+            for vpn in range(proc.region_base // page,
+                             proc.region_top // page)
+            if (pte := table.get(vpn)) is not None
+            and machine.phys.refcount(pte.frame) == 1
+        }
+
+    def divergent_bytes(self, worker: Any = None) -> int:
+        """Bytes of CoW-divergent pages of ``worker`` — the wire size of
+        its migration payload (see :meth:`divergent_vpns`)."""
+        page = self.session.machine.config.page_size
+        return len(self.divergent_vpns(worker)) * page

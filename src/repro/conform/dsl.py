@@ -30,6 +30,9 @@ Ops (tuples; ``tag`` names a pipe end, ``var`` a memory cell)::
     ("close", tag)          close the fd behind tag
     ("dup2", src, dst)      dst aliases src's description (closing dst's)
     ("fork", body)          run body as a child      (ref "<body><k>")
+    ("snapshot", body)      checkpoint self; restore the blob as a
+                            waitable child clone running body
+                            (sim-only — no host equivalent)
     ("exit", status)        terminate (0..127; implicit exit 0 at end)
     ("wait", ref|None)      reap a child             -> wait event
     ("heap_set", var, int)  private memory store
@@ -58,7 +61,7 @@ WRITE_END = ".w"
 OP_NAMES = {
     "pipe", "write", "read", "close", "dup2", "fork", "exit", "wait",
     "heap_set", "heap_get", "shm_set", "shm_get", "signal", "kill",
-    "sig_count",
+    "sig_count", "snapshot",
 }
 
 Op = Tuple[Any, ...]
@@ -92,6 +95,10 @@ def dup2(src: str, dst: str) -> Op:
 
 def fork(body: str) -> Op:
     return ("fork", body)
+
+
+def snapshot_(body: str) -> Op:
+    return ("snapshot", body)
 
 
 def exit_(status: int = 0) -> Op:
@@ -172,8 +179,8 @@ class Scenario:
         if not op or op[0] not in OP_NAMES:
             raise ValueError(f"{self.name}/{body}: unknown op {op!r}")
         kind = op[0]
-        if kind == "fork" and op[1] not in self.bodies:
-            raise ValueError(f"{self.name}/{body}: fork of unknown "
+        if kind in ("fork", "snapshot") and op[1] not in self.bodies:
+            raise ValueError(f"{self.name}/{body}: {kind} of unknown "
                              f"body {op[1]!r}")
         if kind == "exit" and not 0 <= op[1] <= 127:
             # >= 128 is reserved for signal-death encoding
@@ -233,16 +240,19 @@ class Scenario:
             tag = op[1]
             base = tag.rsplit(".", 1)[0]
             return frozenset({f"pipe:{base}"})
-        # fork / exit / wait / kill / signal / sig_count
+        # fork / snapshot / exit / wait / kill / signal / sig_count
         return frozenset({"proctree"})
 
     def ops_independent(self, a: Op, b: Op) -> bool:
         """Can *a* and *b* (ops of two different processes) be swapped
         without reaching a new state?  Disjoint footprints commute —
-        except fork and exit, which change the candidate set itself
-        (they enable/disable transitions, the classic DPOR caveat), so
-        they are never independent of anything."""
-        if a[0] in ("fork", "exit") or b[0] in ("fork", "exit"):
+        except fork, snapshot and exit, which change the candidate set
+        itself (they enable/disable transitions, the classic DPOR
+        caveat; snapshot additionally captures *every* resource the
+        caller holds, pipes included), so they are never independent of
+        anything."""
+        if a[0] in ("fork", "exit", "snapshot") \
+                or b[0] in ("fork", "exit", "snapshot"):
             return False
         return not (self.op_footprint(a) & self.op_footprint(b))
 

@@ -50,6 +50,7 @@ DEFAULT_TIMEOUT = 900.0
 #: the --chaos injection rates: low enough that most schedules complete,
 #: high enough that fork aborts and EINTR storms are routinely exercised
 DEFAULT_CHAOS_MIX = ("default=0.0,core.ufork.abort.*=0.05,"
+                     "core.snapshot.abort.*=0.05,"
                      "kernel.syscall.eintr=0.03")
 
 #: result-file keys copied from each explorer result into the report
@@ -67,8 +68,14 @@ def unit_key(unit: Unit) -> str:
 def plan_units(scenario_names: Optional[Sequence[str]] = None,
                strategies: Optional[Sequence[str]] = None,
                cpus: Sequence[int] = DEFAULT_CPUS) -> List[Unit]:
-    """The deterministic work matrix, in corpus × strategy × cpu order."""
-    from repro.conform.scenarios import corpus
+    """The deterministic work matrix, in corpus × strategy × cpu order.
+
+    The farm covers the host-differential corpus *plus* the sim-only
+    snapshot corpus — the explorer needs no host oracle, so
+    checkpoint/restore interleavings (and, under ``--chaos``, injected
+    mid-restore aborts) are fair game here.
+    """
+    from repro.conform.scenarios import corpus, snapshot_corpus
     from repro.conform.simrun import STRATEGIES
 
     strategies = tuple(strategies or STRATEGIES)
@@ -76,7 +83,7 @@ def plan_units(scenario_names: Optional[Sequence[str]] = None,
         if strategy not in STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}; "
                              f"choose from {STRATEGIES}")
-    scenarios = corpus()
+    scenarios = corpus() + snapshot_corpus()
     if scenario_names:
         wanted = set(scenario_names)
         scenarios = [s for s in scenarios if s.name in wanted]

@@ -37,6 +37,7 @@ from repro.conform.dsl import (
     shm_set,
     sig_count,
     signal_,
+    snapshot_,
     wait,
     wr,
 )
@@ -254,8 +255,63 @@ def corpus() -> List[Scenario]:
     return scenarios
 
 
+def snapshot_corpus() -> List[Scenario]:
+    """Checkpoint/restore scenarios — **sim-only** (the host oracle has
+    no CRIU), so they run under the interleaving explorer and the farm
+    but are excluded from host-differential ``corpus()``.
+
+    The snapshot op clones the caller at a syscall boundary: private
+    heap and pipe *buffers* are duplicated (unlike fork, where pipes
+    stay shared), string signal dispositions survive, and gated state
+    (shm) degrades to an err event with the kernel rolled back.
+    """
+    return [
+        Scenario("snapshot-clone-heap", {
+            # the clone sees the heap as of the checkpoint; writes on
+            # either side stay private — fork isolation, via a blob
+            "main": (heap_set("x", 1), snapshot_("c"), wait("c1"),
+                     heap_get("x"), exit_(0)),
+            "c": (heap_get("x"), heap_set("x", 2), heap_get("x"),
+                  exit_(3)),
+        }),
+        Scenario("snapshot-clone-exit-status", {
+            "main": (snapshot_("c"), wait("c1"), exit_(0)),
+            "c": (exit_(42),),
+        }),
+        Scenario("snapshot-pipe-buffer-duplicated", {
+            # both sides read the same two bytes: the clone got its own
+            # copy of the buffered pipe, not a shared description
+            "main": (pipe("p"), wr("p.w", "ab"), snapshot_("c"),
+                     wait("c1"), rd("p.r", 2), exit_(0)),
+            "c": (rd("p.r", 2), exit_(0)),
+        }),
+        Scenario("snapshot-signal-disposition-survives", {
+            # "ignore" is a string disposition: it crosses the blob, so
+            # the clone's self-kill is a no-op
+            "main": (signal_("USR1", "ignore"), snapshot_("c"),
+                     wait("c1"), exit_(6)),
+            "c": (kill("self", "USR1"), exit_(0)),
+        }),
+        Scenario("snapshot-nested", {
+            # a clone of a clone: restore grafts fully into the process
+            # lifecycle, including being itself checkpointable
+            "main": (heap_set("x", 1), snapshot_("c"), wait("c1"),
+                     heap_get("x"), exit_(0)),
+            "c": (snapshot_("g"), wait("g1"), heap_get("x"), exit_(2)),
+            "g": (heap_set("x", 9), heap_get("x"), exit_(1)),
+        }),
+        Scenario("snapshot-shm-gated", {
+            # MAP_SHARED memory is outside snapshot v1: the op degrades
+            # to an err event and main continues undamaged
+            "main": (shm_set("v", 1), snapshot_("c"), shm_get("v"),
+                     exit_(0)),
+            "c": (exit_(0),),
+        }),
+    ]
+
+
 def by_name(name: str) -> Scenario:
-    for scenario in corpus():
+    for scenario in corpus() + snapshot_corpus():
         if scenario.name == name:
             return scenario
     raise KeyError(f"no conformance scenario named {name!r}")

@@ -397,6 +397,43 @@ class SimRun:
         p.children[ref] = child_ctx.proc.pid
         return True
 
+    def _op_snapshot(self, p: _Proc, body: str) -> bool:
+        """Clone the caller through the snapshot subsystem: checkpoint
+        it at this syscall boundary and restore the blob into the same
+        kernel as a waitable child running ``body``.  Like fork, except
+        the clone's pipes are *duplicated* (buffered bytes and all)
+        rather than shared, and non-pipe fds are dropped by v1 policy.
+        A gated checkpoint (threads, shm) or an injected restore abort
+        degrades to an err event — the kernel rolls back to exactly the
+        pre-op state."""
+        from repro.snapshot import checkpoint, restore
+
+        count = p.fork_counts.get(body, 0) + 1
+        p.fork_counts[body] = count
+        ref = f"{body}{count}"
+        try:
+            blob = checkpoint(self.os_, p.ctx.proc)
+            clone_proc = restore(self.os_, blob,
+                                 name=f"{p.ctx.proc.name}-snap",
+                                 parent=p.ctx.proc)
+        except KernelError as exc:
+            self._emit(p, "err", "snapshot", exc.errno_name)
+            return True
+        clone_ctx = GuestContext(self.os_, clone_proc)
+        delta = clone_proc.region_base - p.ctx.proc.region_base
+        clone = _Proc(f"{p.label}/{ref}", clone_ctx,
+                      self.scenario.bodies[body], len(self.procs),
+                      p.ctx.proc.pid)
+        clone.fdmap = dict(p.fdmap)  # fd numbers survive restore
+        clone.heap = {var: cap.rebased(delta)
+                      for var, cap in p.heap.items()}
+        clone.sigcounts = dict(p.sigcounts)
+        self.procs.append(clone)
+        self.by_pid[clone_proc.pid] = clone
+        self.events[clone.label] = []
+        p.children[ref] = clone_proc.pid
+        return True
+
     def _op_exit(self, p: _Proc, raw_status: int) -> bool:
         try:
             p.ctx.syscall("exit", raw_status)

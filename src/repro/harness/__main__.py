@@ -19,6 +19,8 @@ Usage::
     python -m repro.harness bench --only fault_storm --json out.json
     python -m repro.harness cluster --seed 42        # 1M-request cluster run
     python -m repro.harness cluster --shards 2 --requests 50000 --json out.json
+    python -m repro.harness snapshot --strategy copa --obs-dir out/
+    python -m repro.harness snapshot --incremental   # migration payload demo
 
 Every subcommand owns exactly its own flags (``figures --depth-bound``
 is an error, not silence) and shares the common ``--seed``, ``--cpus``,
@@ -36,7 +38,7 @@ from typing import List, Optional
 
 #: every subcommand; the first is the implied default for bare flags
 SUBCOMMANDS = ("figures", "obs-report", "chaos", "smp", "conform",
-               "conform-farm", "bench", "cluster")
+               "conform-farm", "bench", "cluster", "snapshot")
 
 #: default output path for the bench report (the BENCH_* trajectory)
 BENCH_REPORT = "BENCH_hotpath.json"
@@ -168,7 +170,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="NAME",
                        help="run only this microbenchmark (repeatable; "
                             "fork_full_copy, fault_storm, "
-                            "pipe_pingpong, conform_explorer)")
+                            "pipe_pingpong, conform_explorer, "
+                            "snapshot_restore)")
     bench.add_argument("--check", metavar="BASELINE", default=None,
                        help="also gate against a previous report at "
                             "this path (>25%% slowdown on any "
@@ -194,6 +197,18 @@ def _build_parser() -> argparse.ArgumentParser:
                               "real machine (0 disables auditing)")
     cluster.add_argument("--max-migrations", type=int, default=8,
                          help="cap on cross-shard worker migrations")
+
+    snapshot = sub.add_parser(
+        "snapshot", parents=[parent],
+        help="checkpoint/restore demo (docs/SNAPSHOT.md); restores a "
+             "blob into a fresh machine and diffs the logical traces")
+    snapshot.add_argument("--strategy", default="copa",
+                          choices=["full", "coa", "copa", "monolithic"],
+                          help="fork strategy of the donor and target OS")
+    snapshot.add_argument("--incremental", action="store_true",
+                          help="capture only CoW-divergent pages and "
+                               "apply them onto a fork twin (the "
+                               "cluster-migration payload)")
 
     return parser
 
@@ -355,6 +370,23 @@ def _cmd_cluster(args) -> int:
     return 0
 
 
+def _cmd_snapshot(args) -> int:
+    from repro.snapshot.report import format_summary, run_snapshot
+    summary = run_snapshot(seed=args.seed, cpus=args.cpus or 1,
+                           strategy=args.strategy,
+                           incremental=args.incremental,
+                           obs_dir=args.obs_dir)
+    print(format_summary(summary))
+    if args.json:
+        from repro.harness.reportio import write_report
+        write_report(summary, args.json)
+        print(f"[wrote {args.json}]")
+    if args.obs_dir:
+        print(f"[sidecars: {args.obs_dir}/snapshot-{args.seed}"
+              f".obs.json + .snapshot.json]")
+    return 0 if summary["verdict"] == "identical" else 1
+
+
 def _cmd_figures(args, parser: argparse.ArgumentParser) -> int:
     from repro.harness.experiments import (
         DEFAULT_DB_SIZES,
@@ -466,6 +498,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "conform-farm": _cmd_conform_farm,
         "bench": _cmd_bench,
         "cluster": _cmd_cluster,
+        "snapshot": _cmd_snapshot,
     }
     return handlers[args.command](args)
 

@@ -126,6 +126,14 @@ class CostModel:
     vm_clone_page_ns: float = 320.0
     #: terminating a μprocess (uFork)
     uexit_ns: float = 1_800.0
+    #: fixed path of a μprocess checkpoint: quiesce at the syscall
+    #: boundary, walk the region's page table, emit the manifest.
+    #: Per-page costs (tag scan, byte copy) are charged on top.
+    snapshot_fixed_ns: float = 30_000.0
+    #: fixed path of a restore: reserve VA, recreate task + fd state,
+    #: re-mint the register file.  Per-page and per-capability costs
+    #: reuse page_copy_ns / page_scan_ns / cap_relocate_ns.
+    restore_fixed_ns: float = 60_000.0
     #: terminating a process on the monolithic OS (reaping, pmap teardown)
     monolithic_exit_ns: float = 9_000.0
 

@@ -175,12 +175,45 @@ def _bench_conform_explorer(budget: int = 24
     }
 
 
+def _bench_snapshot_restore(cycles: int = 4
+                            ) -> Tuple[int, Dict[str, Any]]:
+    """The FaaS cold-start triathlon (:mod:`repro.apps.coldstart`):
+    cold boot vs zygote fork vs snapshot restore, then ``cycles``
+    further restores of the same blob hammering the checkpoint/restore
+    hot paths (page serialization, tag scans, capability re-minting).
+    The invariant folds every simulated interval and the blob length
+    together, so a perf-mode divergence anywhere in the snapshot engine
+    trips the cross-mode assertion."""
+    from repro.apps.coldstart import coldstart_comparison, make_zygote_blob
+    from repro.apps.guest import GuestContext
+    from repro.core import CopyStrategy, UForkOS
+    from repro.machine import Machine
+    from repro.snapshot import restore
+
+    comparison = coldstart_comparison(seed=7)
+    blob = make_zygote_blob(seed=7)
+    os_ = UForkOS(machine=Machine(seed=9),
+                  copy_strategy=CopyStrategy.COPA)
+    for _ in range(cycles):
+        GuestContext(os_, restore(os_, blob)).exit(0)
+    simulated = (os_.machine.clock.now_ns
+                 + comparison["cold_boot_ns"]
+                 + comparison["zygote_fork_ns"]
+                 + comparison["snapshot_restore_ns"]
+                 + comparison["blob_bytes"])
+    return simulated, {
+        "cycles": cycles, "blob_pages": comparison["blob_pages"],
+        "function": comparison["function"],
+    }
+
+
 #: benchmark registry: name → workload
 BENCHMARKS: Dict[str, Callable[[], Tuple[int, Dict[str, Any]]]] = {
     "fork_full_copy": _bench_fork_full_copy,
     "fault_storm": _bench_fault_storm,
     "pipe_pingpong": _bench_pipe_pingpong,
     "conform_explorer": _bench_conform_explorer,
+    "snapshot_restore": _bench_snapshot_restore,
 }
 
 

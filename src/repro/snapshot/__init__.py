@@ -1,0 +1,41 @@
+"""CRIU-style μprocess checkpoint/restore (``repro.snapshot``).
+
+μFork's central trick — finding every capability in a μprocess's pages
+via memory tags and re-deriving it for a new region — is exactly the
+machinery a checkpoint/restore engine needs.  This package serializes a
+live μprocess (register file, page bytes + per-granule validity tags,
+page permissions, allocator metadata, fd-table policy, signal
+dispositions) into the deterministic ``repro.snapshot/v1`` byte format
+and restores it into *any* machine — the one it came from or a freshly
+booted one — by re-minting every stored capability through the same
+relocation engine fork uses (:mod:`repro.core.relocate`).
+
+Entry points:
+
+* :func:`checkpoint` — μprocess → bytes (optionally incremental:
+  CoW-divergent refcount-1 pages only, the cluster migration payload);
+* :func:`restore` — bytes → a fresh, runnable process on a target OS;
+* :func:`restore_into` — apply an incremental snapshot onto an
+  existing process forked from the same image (cross-machine worker
+  migration).
+
+See docs/SNAPSHOT.md for the executable walkthrough.
+"""
+
+from repro.snapshot.engine import (
+    SnapshotError,
+    checkpoint,
+    restore,
+    restore_into,
+)
+from repro.snapshot.format import SCHEMA, decode, encode
+
+__all__ = [
+    "SCHEMA",
+    "SnapshotError",
+    "checkpoint",
+    "decode",
+    "encode",
+    "restore",
+    "restore_into",
+]

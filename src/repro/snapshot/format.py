@@ -1,0 +1,80 @@
+"""The ``repro.snapshot/v1`` byte format.
+
+A snapshot blob is::
+
+    MAGIC (8 bytes) | manifest length (u32 LE) | manifest | page payload
+
+The manifest is canonical JSON (sorted keys, no whitespace, UTF-8), so
+two checkpoints of identical logical state are byte-identical.  The
+payload is the raw bytes of every captured page, concatenated in
+manifest order.
+
+Capabilities are the part a naive memory dump would get wrong: their
+in-memory encoding (:mod:`repro.cheri.codec`) interns metadata in a
+*per-machine* table, so raw capability bytes are meaningless on another
+machine — and real CHERI tags do not survive a plain byte copy either.
+The manifest therefore records every tagged granule **logically**
+(offset, base, length, cursor, perms, otype); restore re-mints each one
+through :func:`repro.core.relocate.relocate_cap` on the target machine.
+Untagged bytes — including stale, forged, or clobbered capability
+encodings — travel verbatim in the payload and come back untagged.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, Tuple
+
+SCHEMA = "repro.snapshot/v1"
+
+MAGIC = b"\xb5RSNAP1\x00"
+_LEN = struct.Struct("<I")
+
+
+class SnapshotFormatError(ValueError):
+    """The blob is not a well-formed repro.snapshot/v1 snapshot."""
+
+
+def dumps_manifest(manifest: Dict[str, Any]) -> bytes:
+    """Canonical-JSON bytes of a manifest (deterministic)."""
+    return json.dumps(
+        manifest, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def encode(manifest: Dict[str, Any], payload: bytes) -> bytes:
+    """Assemble a snapshot blob from its manifest and page payload."""
+    if manifest.get("schema") != SCHEMA:
+        raise SnapshotFormatError(
+            f"manifest schema {manifest.get('schema')!r} != {SCHEMA!r}")
+    body = dumps_manifest(manifest)
+    return MAGIC + _LEN.pack(len(body)) + body + payload
+
+
+def decode(blob: bytes) -> Tuple[Dict[str, Any], memoryview]:
+    """Split a blob back into (manifest, payload view); validates the
+    magic, schema, and payload length."""
+    if not isinstance(blob, (bytes, bytearray, memoryview)):
+        raise SnapshotFormatError(f"not a snapshot blob: {type(blob)!r}")
+    blob = memoryview(blob)
+    if bytes(blob[:len(MAGIC)]) != MAGIC:
+        raise SnapshotFormatError("bad snapshot magic")
+    header_end = len(MAGIC) + _LEN.size
+    (body_len,) = _LEN.unpack(bytes(blob[len(MAGIC):header_end]))
+    body = bytes(blob[header_end:header_end + body_len])
+    if len(body) != body_len:
+        raise SnapshotFormatError("truncated snapshot manifest")
+    try:
+        manifest = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotFormatError(f"unparsable manifest: {exc}") from exc
+    if manifest.get("schema") != SCHEMA:
+        raise SnapshotFormatError(
+            f"unsupported snapshot schema {manifest.get('schema')!r}")
+    payload = blob[header_end + body_len:]
+    expected = len(manifest.get("pages", ())) * manifest.get("page_size", 0)
+    if len(payload) != expected:
+        raise SnapshotFormatError(
+            f"payload is {len(payload)} bytes, manifest promises {expected}")
+    return manifest, payload

@@ -77,6 +77,18 @@ class TestSurface:
         assert list(inspect.signature(Session.obs_export).parameters) \
             == ["self"]
 
+    def test_snapshot_hook_signatures(self):
+        # docs/API.md "Snapshot hooks": checkpoint/restore knobs are
+        # keyword-only so the positional surface stays (pid,) / (blob,)
+        cp = inspect.signature(Session.checkpoint).parameters
+        assert list(cp) == ["self", "pid", "incremental"]
+        assert cp["incremental"].kind is inspect.Parameter.KEYWORD_ONLY
+        assert cp["incremental"].default is False
+        rs = inspect.signature(Session.restore).parameters
+        assert list(rs) == ["self", "blob", "name"]
+        assert rs["name"].kind is inspect.Parameter.KEYWORD_ONLY
+        assert rs["name"].default is None
+
 
 class TestValidation:
     def test_unknown_names_fail_at_construction(self):
@@ -128,6 +140,26 @@ class TestBehavior:
 
     def test_run_returns_workload_result(self):
         assert Session().run(lambda s: s.machine.clock.now_ns) >= 0
+
+    def test_checkpoint_restore_round_trip(self):
+        from repro.apps.guest import GuestContext
+        from repro.snapshot import SCHEMA, decode
+        donor = Session()
+        ctx = donor.spawn(name="donor")
+        cap = ctx.malloc(64)
+        ctx.store(cap, b"facade round trip")
+        ctx.set_reg("c19", cap)
+        blob = donor.checkpoint(ctx.proc.pid)
+        assert decode(blob)[0]["schema"] == SCHEMA
+        ctx.exit(0)
+
+        target = Session(seed=99)
+        target.spawn(name="resident").exit(0)
+        pid = target.restore(blob, name="revived")
+        restored = GuestContext(target.os, target.os.procs.get(pid))
+        assert restored.load(restored.reg("c19"), 17) == \
+            b"facade round trip"
+        restored.exit(0)
 
 
 class TestDeprecationShims:

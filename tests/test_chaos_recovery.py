@@ -280,6 +280,12 @@ def _exercise(point):
     elif point.startswith("core.ufork.abort."):
         with pytest.raises(Exception):
             os_.fork(ctx.proc)
+    elif point.startswith("core.snapshot.abort."):
+        from repro.snapshot import checkpoint, restore
+        with engine.paused():
+            blob = checkpoint(os_, ctx.proc)
+        with pytest.raises(Exception):
+            restore(os_, blob)
     elif point == "core.strategies.cap_fault_storm":
         cap = ctx.malloc(64)
         ctx.store_cap(cap, cap)

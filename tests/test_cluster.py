@@ -180,6 +180,36 @@ class TestMigration:
         counters = source.session.obs_export()["metrics"]["counters"]
         assert counters["cluster.migrate.out"] == 1
 
+    def test_migration_transfers_the_workers_divergent_state(self):
+        """The replacement on the target shard is not a fresh fork: it
+        carries the migrated worker's private pages (shipped as an
+        incremental repro.snapshot/v1 blob) and its registers, with
+        every capability re-minted for the target machine."""
+        from repro.cluster.migrate import migrate_worker
+        from repro.cluster.shard import Shard
+
+        source = Shard(0, seed=43, workers=1)
+        target = Shard(1, seed=44, workers=1)
+        worker = source.pool.workers[-1]
+        cap = worker.malloc(64)
+        worker.store(cap, b"migrated worker state")
+        worker.store_cap(cap, cap.add(8), offset=32)
+        worker.set_reg("c19", cap)
+        divergent = source.pool.divergent_bytes(worker)
+
+        record = migrate_worker(source, target, DEFAULT_CLUSTER_COSTS)
+        assert record["divergent_bytes"] == divergent > 0
+
+        twin = target.pool.workers[-1]
+        tcap = twin.reg("c19")
+        assert twin.load(tcap, 21) == b"migrated worker state"
+        inner = twin.load_cap(tcap, offset=32)
+        assert inner.valid and inner.base == tcap.base
+        assert inner.cursor - tcap.cursor == 8
+        counters = target.session.obs_export()["metrics"]["counters"]
+        assert counters["cluster.migrate.in"] == 1
+        assert counters["core.snapshot.pages_applied"] >= 1
+
 
 class TestRunClusterReport:
     def test_report_is_internally_consistent(self):

@@ -21,6 +21,7 @@ DOCS = [
     REPO_ROOT / "docs" / "API.md",
     REPO_ROOT / "docs" / "COSTMODEL.md",
     REPO_ROOT / "docs" / "CLUSTER.md",
+    REPO_ROOT / "docs" / "SNAPSHOT.md",
 ]
 
 _FENCE_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)

@@ -1,0 +1,127 @@
+"""Transactional-restore tier: kill restore at every phase boundary and
+prove the target kernel is exactly as it was — no leaked frames, VA
+reservations, PIDs, PTEs or half-populated fd tables — then show the
+very same blob restores once the chaos clears (retriability)."""
+
+import pytest
+
+from repro.apps.guest import GuestContext
+from repro.apps.hello import hello_world_image
+from repro.chaos import ChaosEngine, FaultMix, InjectedRestoreFailure
+from repro.core import CopyStrategy, UForkOS
+from repro.machine import Machine
+from repro.snapshot import checkpoint, restore
+
+ABORT_POINTS = [
+    "core.snapshot.abort.reserve",
+    "core.snapshot.abort.pages",
+    "core.snapshot.abort.registers",
+    "core.snapshot.abort.allocator",
+]
+
+
+def make_blob(seed=7):
+    """A donor machine produces the blob, then is torn down."""
+    machine = Machine(seed=seed)
+    os_ = UForkOS(machine=machine, copy_strategy=CopyStrategy.COPA)
+    ctx = GuestContext(os_, os_.spawn(hello_world_image(), "donor"))
+    cap = ctx.malloc(128)
+    ctx.store(cap, b"precious snapshot state")
+    ctx.store_cap(cap, cap, offset=48)
+    ctx.set_reg("c19", cap)
+    blob = checkpoint(os_, ctx.proc)
+    ctx.exit(0)
+    return blob
+
+
+def boot_target(spec, seed=7):
+    machine = Machine(seed=seed)
+    machine.obs.enable()
+    engine = ChaosEngine(seed=seed, mix=FaultMix.parse(spec))
+    engine.attach(machine)
+    with engine.paused():
+        os_ = UForkOS(machine=machine, copy_strategy=CopyStrategy.COPA)
+        ctx = GuestContext(os_, os_.spawn(hello_world_image(), "resident"))
+    return os_, ctx, engine
+
+
+def kernel_snapshot(os_):
+    """Everything a leaky restore could perturb."""
+    machine = os_.machine
+    ptes = {
+        vpn: (pte.frame, pte.perms, machine.phys.refcount(pte.frame))
+        for vpn, pte in os_.space.page_table.entries()
+    }
+    return {
+        "frames": machine.phys.allocated_frames,
+        "ptes": ptes,
+        "reserved": sorted(os_.vspace.reserved_areas()),
+        "alive_pids": sorted(p.pid for p in os_.procs.alive()),
+    }
+
+
+@pytest.mark.parametrize("point", ABORT_POINTS,
+                         ids=lambda p: p.rsplit(".", 1)[-1])
+def test_abort_at_every_boundary_leaks_nothing(point):
+    blob = make_blob()
+    os_, ctx, engine = boot_target(spec=f"{point}=1.0")
+    before = kernel_snapshot(os_)
+
+    with pytest.raises(InjectedRestoreFailure):
+        restore(os_, blob)
+
+    assert kernel_snapshot(os_) == before
+    assert os_.machine.counters.snapshot().get("restore_rollbacks") == 1
+    counters = os_.machine.obs.registry.counters()
+    assert counters["core.snapshot.restore_rollbacks"] == 1
+    assert engine.recovered.get(point) == 1
+
+    # with the chaos cleared, the very same blob restores and runs
+    engine.disable()
+    restored = GuestContext(os_, restore(os_, blob))
+    cap = restored.reg("c19")
+    assert restored.load(cap, 23) == b"precious snapshot state"
+    assert restored.load_cap(cap, offset=48).base == cap.base
+    restored.exit(0)
+    ctx.exit(0)
+
+
+def test_alloc_failure_mid_page_loop_rolls_back():
+    """Frame exhaustion *inside* the page-materialization loop (not at a
+    phase boundary) also rolls back fully, and surfaces wrapped as the
+    retriable InjectedRestoreFailure."""
+    blob = make_blob()
+    os_, ctx, engine = boot_target(spec="default=0.0")
+    before = kernel_snapshot(os_)
+    engine.mix = FaultMix.parse("hw.phys.alloc_fail=0.2")
+
+    with pytest.raises(InjectedRestoreFailure) as excinfo:
+        restore(os_, blob)
+    assert excinfo.value.__cause__ is not None
+    assert excinfo.value.retriable
+
+    engine.mix = FaultMix.parse("default=0.0")
+    assert kernel_snapshot(os_) == before
+    ctx.exit(0)
+
+
+def test_disabled_chaos_restores_bit_identically():
+    """With injection disabled, the instrumented restore path must be
+    byte-identical to a run on a chaos-free machine."""
+    blob = make_blob()
+
+    def run(attach_engine):
+        machine = Machine(seed=7)
+        machine.obs.enable()
+        if attach_engine:
+            ChaosEngine(seed=7, mix=FaultMix.parse("default=0.5"),
+                        enabled=False).attach(machine)
+        os_ = UForkOS(machine=machine, copy_strategy=CopyStrategy.COPA)
+        restored = GuestContext(os_, restore(os_, blob))
+        cap = restored.reg("c19")
+        assert restored.load(cap, 23) == b"precious snapshot state"
+        restored.exit(0)
+        from repro.obs import to_json
+        return to_json(machine.obs.export())
+
+    assert run(attach_engine=False) == run(attach_engine=True)

@@ -1,0 +1,155 @@
+"""Property-based tag fidelity of the snapshot round trip.
+
+Hypothesis drives arbitrary granule programs — valid capability stores
+(with random sub-bounds, including a sealed sentry), raw byte writes
+that clobber tags, and forged capability-looking bytes that were never
+tagged — then checkpoints and restores into a fresh machine and checks
+CHERI's memory-safety story survives serialization exactly:
+
+* every tagged granule comes back tagged, with identical logical
+  geometry (bounds/cursor shifted by exactly the region delta, same
+  length, permissions and otype — seals included);
+* every untagged granule comes back untagged, its raw integer bytes
+  verbatim — forged or stale capability bytes are *never* re-tagged or
+  relocated by the restore path.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.apps.guest import GuestContext
+from repro.apps.hello import hello_world_image
+from repro.cheri.codec import CAP_SIZE
+from repro.core import CopyStrategy, UForkOS
+from repro.machine import Machine
+from repro.snapshot import checkpoint, restore
+
+#: granules in the scratch buffer the programs operate on
+SLOTS = 12
+
+# one op per granule: what ends up in slot g
+op = st.one_of(
+    st.just(("leave",)),
+    st.tuples(st.just("cap"),
+              st.integers(min_value=0, max_value=SLOTS - 1),  # bounds base
+              st.integers(min_value=1, max_value=SLOTS),      # bounds len
+              st.integers(min_value=0, max_value=SLOTS)),     # cursor off
+    st.just(("sentry",)),
+    st.tuples(st.just("clobber"),                            # cap, then a
+              st.integers(min_value=0, max_value=CAP_SIZE - 1)),  # byte poke
+    st.tuples(st.just("forge"), st.binary(min_size=CAP_SIZE,
+                                          max_size=CAP_SIZE)),
+)
+
+
+def boot(seed=5):
+    machine = Machine(seed=seed)
+    os_ = UForkOS(machine=machine, copy_strategy=CopyStrategy.COPA)
+    ctx = GuestContext(os_, os_.spawn(hello_world_image(), "props"))
+    return os_, ctx
+
+
+def run_program(ctx, ops):
+    """Apply one op per granule of a fresh SLOTS-granule buffer."""
+    buf = ctx.malloc(SLOTS * CAP_SIZE)
+    for slot, spec in enumerate(ops):
+        offset = slot * CAP_SIZE
+        kind = spec[0]
+        if kind == "leave":
+            continue
+        if kind == "cap":
+            _, b, ln, cur = spec
+            b = min(b, SLOTS - 1)
+            ln = min(ln, SLOTS - b)
+            derived = (buf.set_bounds(buf.base + b * CAP_SIZE,
+                                      ln * CAP_SIZE)
+                       .with_cursor(buf.base + min(cur, SLOTS) * CAP_SIZE))
+            ctx.store_cap(buf, derived, offset=offset)
+        elif kind == "sentry":
+            ctx.store_cap(buf, ctx.proc.syscall_gate, offset=offset)
+        elif kind == "clobber":
+            derived = buf.set_bounds(buf.base, CAP_SIZE)
+            ctx.store_cap(buf, derived, offset=offset)
+            ctx.store(buf, b"\xa5", offset=offset + spec[1])
+        elif kind == "forge":
+            ctx.store(buf, spec[1], offset=offset)
+    ctx.set_reg("c19", buf)
+    return buf
+
+
+def granule_view(ctx, buf):
+    """(tagged, logical-or-raw fields) per slot, relative to the buffer."""
+    out = []
+    for slot in range(SLOTS):
+        cap = ctx.load_cap(buf, offset=slot * CAP_SIZE)
+        if cap.valid:
+            if cap.is_sentry:
+                # sentries are preserved bit-for-bit (kernel gate)
+                out.append(("sentry", cap.base, cap.length, cap.cursor,
+                            int(cap.perms), cap.otype))
+            else:
+                out.append(("cap", cap.base - buf.base, cap.length,
+                            cap.cursor - buf.base, int(cap.perms),
+                            cap.otype))
+        else:
+            # untagged: only the raw integer view is meaningful, and it
+            # must travel verbatim (no relocation of untagged bytes)
+            out.append(("raw", cap.cursor))
+    return out
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=st.lists(op, min_size=SLOTS, max_size=SLOTS))
+def test_round_trip_preserves_tags_bounds_and_seals(ops):
+    os_a, ctx_a = boot()
+    buf_a = run_program(ctx_a, ops)
+    expected = granule_view(ctx_a, buf_a)
+    blob = checkpoint(os_a, ctx_a.proc)
+    ctx_a.exit(0)
+
+    os_b, _boot_ctx = boot()
+    restored = GuestContext(os_b, restore(os_b, blob))
+    buf_b = restored.reg("c19")
+    assert granule_view(restored, buf_b) == expected
+    # tag *count* also matches exactly: nothing gained, nothing lost
+    tags_a = sum(1 for entry in expected if entry[0] != "raw")
+    manifest_tags = sum(
+        1 for slot in range(SLOTS)
+        if restored.load_cap(buf_b, offset=slot * CAP_SIZE).valid
+    )
+    assert manifest_tags == tags_a
+    restored.exit(0)
+    _boot_ctx.exit(0)
+
+
+def test_forged_bytes_never_gain_authority():
+    """A granule holding a byte-perfect copy of a real capability's
+    encoding — written as data — stays untagged through the round trip
+    and faults on use."""
+    from repro.errors import TagFault
+
+    os_a, ctx_a = boot()
+    buf = ctx_a.malloc(SLOTS * CAP_SIZE)
+    real = buf.set_bounds(buf.base, CAP_SIZE)
+    ctx_a.store_cap(buf, real, offset=0)
+    # replay the real capability's exact bytes into slot 1 as raw data
+    space = os_a.space_of(ctx_a.proc)
+    raw = space.read(buf.base, CAP_SIZE, privileged=True)
+    ctx_a.store(buf, raw, offset=CAP_SIZE)
+    ctx_a.set_reg("c19", buf)
+    blob = checkpoint(os_a, ctx_a.proc)
+    ctx_a.exit(0)
+
+    os_b, _boot_ctx = boot()
+    restored = GuestContext(os_b, restore(os_b, blob))
+    buf_b = restored.reg("c19")
+    assert restored.load_cap(buf_b, offset=0).valid
+    forged = restored.load_cap(buf_b, offset=CAP_SIZE)
+    assert not forged.valid
+    with pytest.raises(TagFault):
+        forged.check_access(forged.perms, size=1)
+    restored.exit(0)
+    _boot_ctx.exit(0)
