@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import Any, List, Optional
 
 from repro.cheri.capability import Capability, Perm
+from repro.core.relocate import record_flow
 from repro.core.uprocess import (
     init_image_contents,
     initial_registers,
@@ -152,6 +153,8 @@ class MonolithicOS(AbstractOS):
             task.registers.set(reg_name, value)
         self.procs.add(proc)
         self.sched.add(task)
+        record_flow(machine, "spawn", 0, proc.pid,
+                    proc.region_base, proc.region_top)
         return proc
 
     def _map_libraries(self, space: AddressSpace, base: int) -> int:
@@ -257,6 +260,8 @@ class MonolithicOS(AbstractOS):
         self.sched.add(task)
         machine.counters.add("fork")
         obs.count("baselines.monolithic.forks")
+        record_flow(machine, "fork", proc.pid, child.pid,
+                    child.region_base, child.region_top, "monolithic")
         return child
 
     def syscall(self, proc: Process, name: str, *args: Any,
@@ -349,9 +354,12 @@ class MonolithicOS(AbstractOS):
             proc.shm_bindings = []
         proc.shm_vpns.update(vpns)
         proc.shm_bindings.append((base - window_base, shm))
+        # like the SASOS kernels, shared windows are a capability
+        # firewall: data flows, tagged authority does not
         return (
             self.kernel_root
             .set_bounds(base, size)
             .with_cursor(base)
             .and_perms(Perm.data_rw())
+            .without_perms(Perm.LOAD_CAP | Perm.STORE_CAP)
         )

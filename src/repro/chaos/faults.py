@@ -25,7 +25,7 @@ from typing import Dict
 from repro.errors import Interrupted, KernelError, OutOfMemory, WouldBlock
 
 #: layers that may host injection sites (first name segment)
-POINT_LAYERS = ("hw", "kernel", "core", "smp")
+POINT_LAYERS = ("hw", "kernel", "core", "smp", "sec")
 
 
 class InjectedFault:
@@ -203,3 +203,15 @@ register_point(
     "smp.tlb.stale_storm",
     "a shootdown recipient observes a storm of stale translations and "
     "must invalidate twice before the flush sticks")
+register_point(
+    "sec.attack.replay",
+    "the adversarial guest immediately replays a just-defeated attack; "
+    "the second attempt must end in the identical fault")
+register_point(
+    "sec.attack.bystander_fork",
+    "a bystander μprocess forks and exits mid-attack, racing the "
+    "attempt against concurrent capability relocation")
+register_point(
+    "sec.snapshot.bitflip",
+    "a tampered snapshot blob takes one extra deterministic payload "
+    "bit-flip before the restore attempt")

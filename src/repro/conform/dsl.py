@@ -42,6 +42,11 @@ Ops (tuples; ``tag`` names a pipe end, ``var`` a memory cell)::
     ("signal", sig, act)    act: "ignore"|"count"|"default"
     ("kill", target, sig)   target: "self"|"parent"|child ref
     ("sig_count", sig)      observed deliveries      -> event (sig, n)
+    ("probe", what)         attempt a capability attack and record the
+                            fault that stopped it: "oob" derefs past a
+                            malloc'd bound, "tag" derefs a forged cap
+                            rebuilt from raw bytes  -> event (what, fault)
+                            (sim-only — host processes have no caps)
 """
 
 from __future__ import annotations
@@ -61,8 +66,11 @@ WRITE_END = ".w"
 OP_NAMES = {
     "pipe", "write", "read", "close", "dup2", "fork", "exit", "wait",
     "heap_set", "heap_get", "shm_set", "shm_get", "signal", "kill",
-    "sig_count", "snapshot",
+    "sig_count", "snapshot", "probe",
 }
+
+#: attack flavors the ("probe", what) op understands
+PROBE_KINDS = ("oob", "tag")
 
 Op = Tuple[Any, ...]
 Event = List[Any]
@@ -137,6 +145,10 @@ def sig_count(sig: str) -> Op:
     return ("sig_count", sig)
 
 
+def probe(what: str) -> Op:
+    return ("probe", what)
+
+
 # ---------------------------------------------------------------------------
 # Scenario
 # ---------------------------------------------------------------------------
@@ -194,6 +206,9 @@ class Scenario:
         if kind == "signal" and op[2] not in ("ignore", "count", "default"):
             raise ValueError(f"{self.name}/{body}: bad signal action "
                              f"{op[2]!r}")
+        if kind == "probe" and op[1] not in PROBE_KINDS:
+            raise ValueError(f"{self.name}/{body}: unknown probe kind "
+                             f"{op[1]!r}")
 
     # -- transport ------------------------------------------------------
 
@@ -230,7 +245,9 @@ class Scenario:
         share one resource, heap ops are process-private and free.
         """
         kind = op[0]
-        if kind in ("heap_set", "heap_get"):
+        if kind in ("heap_set", "heap_get", "probe"):
+            # probe works entirely on its own fresh allocation; the
+            # fault it records is a pure function of the cap machinery
             return frozenset()
         if kind in ("shm_set", "shm_get"):
             return frozenset({f"shm:{op[1]}"})

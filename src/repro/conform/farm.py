@@ -71,11 +71,11 @@ def plan_units(scenario_names: Optional[Sequence[str]] = None,
     """The deterministic work matrix, in corpus × strategy × cpu order.
 
     The farm covers the host-differential corpus *plus* the sim-only
-    snapshot corpus — the explorer needs no host oracle, so
-    checkpoint/restore interleavings (and, under ``--chaos``, injected
-    mid-restore aborts) are fair game here.
+    snapshot and security corpora — the explorer needs no host oracle,
+    so checkpoint/restore interleavings, capability probes (and, under
+    ``--chaos``, injected mid-restore aborts) are fair game here.
     """
-    from repro.conform.scenarios import corpus, snapshot_corpus
+    from repro.conform.scenarios import corpus, sec_corpus, snapshot_corpus
     from repro.conform.simrun import STRATEGIES
 
     strategies = tuple(strategies or STRATEGIES)
@@ -83,7 +83,7 @@ def plan_units(scenario_names: Optional[Sequence[str]] = None,
         if strategy not in STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}; "
                              f"choose from {STRATEGIES}")
-    scenarios = corpus() + snapshot_corpus()
+    scenarios = corpus() + snapshot_corpus() + sec_corpus()
     if scenario_names:
         wanted = set(scenario_names)
         scenarios = [s for s in scenarios if s.name in wanted]

@@ -33,6 +33,7 @@ def check_invariants(os_: Any) -> List[str]:
     violations += _check_fd_refcounts(os_)
     violations += _check_share_notes(os_)
     violations += _check_frames(os_.machine)
+    violations += _check_cap_flow(os_)
     return violations
 
 
@@ -138,6 +139,15 @@ def _check_share_notes(os_: Any) -> List[str]:
                     f"share: vpn {vpn:#x} perms {pte.perms!r} wider than "
                     f"pre-share {note.orig_perms!r}")
     return violations
+
+
+def _check_cap_flow(os_: Any) -> List[str]:
+    """The security invariant (docs/SECURITY.md): no live register or
+    tagged granule holds a capability whose provenance crosses a
+    μprocess boundary.  Running it at every preemption point turns the
+    interleaving search into an isolation-violation hunt."""
+    from repro.sec.auditor import audit_cap_flow
+    return audit_cap_flow(os_)
 
 
 def _check_frames(machine: Any) -> List[str]:

@@ -33,6 +33,11 @@ from typing import List, Optional
 
 import repro
 
+#: the public surface; ``tests/isolated.py`` re-exports exactly this
+#: (tests/test_sec_attacks.py pins the two lists against each other so
+#: the shim cannot silently drift from the promoted module again)
+__all__ = ["REPO_SRC", "IsolatedProcess", "IsolatedResult", "run_isolated"]
+
 #: directory that makes ``import repro`` work in a child interpreter —
 #: wherever this very package was imported from
 REPO_SRC = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))

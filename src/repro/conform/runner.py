@@ -82,11 +82,22 @@ def run_conform(seed: int = 7,
 
     scenarios = corpus()
     if scenario_names:
+        # explicit selection may reach the sim-only corpora (snapshot,
+        # capability probes) — those have no host equivalent, so they
+        # are only runnable with the host oracle off
+        from repro.conform.scenarios import sec_corpus, snapshot_corpus
+        sim_only = {s.name for s in snapshot_corpus() + sec_corpus()}
         wanted = set(scenario_names)
-        scenarios = [s for s in scenarios if s.name in wanted]
+        pool = corpus() + snapshot_corpus() + sec_corpus()
+        scenarios = [s for s in pool if s.name in wanted]
         missing = wanted - {s.name for s in scenarios}
         if missing:
             raise KeyError(f"unknown scenario(s): {sorted(missing)}")
+        chosen_sim_only = sorted(wanted & sim_only)
+        if host and chosen_sim_only:
+            raise ValueError(
+                f"sim-only scenario(s) {chosen_sim_only} have no host "
+                f"equivalent; run them with host=False (--no-host)")
 
     report: Dict[str, Any] = {
         "schema": SCHEMA,

@@ -32,6 +32,7 @@ from repro.conform.dsl import (
     heap_set,
     kill,
     pipe,
+    probe,
     rd,
     shm_get,
     shm_set,
@@ -310,8 +311,40 @@ def snapshot_corpus() -> List[Scenario]:
     ]
 
 
+def sec_corpus() -> List[Scenario]:
+    """Capability-probe scenarios — **sim-only** (host processes have
+    no capabilities to attack), run under the interleaving explorer and
+    the farm alongside the snapshot corpus.
+
+    Each ("probe", what) op mounts a real capability attack from inside
+    the scenario process and records the fault class that stopped it as
+    a trace event.  Because the scenarios are schedule-invariant, the
+    explorer's cross-schedule trace equality proves the defense fires
+    identically under every interleaving — and the capability-flow
+    auditor (repro.sec.auditor, wired into check_invariants) audits
+    every preemption point the probes create.
+    """
+    return [
+        Scenario("sec-probe-across-fork", {
+            # both sides of a fork boundary mount both attacks; the
+            # recorded fault never depends on which side runs first
+            "main": (probe("oob"), fork("c"), wait("c1"), probe("tag"),
+                     exit_(0)),
+            "c": (probe("oob"), probe("tag"), exit_(3)),
+        }),
+        Scenario("sec-probe-under-cow", {
+            # heap writes on both sides break CoW sharing while the
+            # probes run: relocation traffic must not blunt a defense
+            "main": (heap_set("x", 1), fork("c"), probe("tag"),
+                     wait("c1"), heap_get("x"), exit_(0)),
+            "c": (heap_set("x", 2), probe("oob"), heap_get("x"),
+                  exit_(0)),
+        }),
+    ]
+
+
 def by_name(name: str) -> Scenario:
-    for scenario in corpus() + snapshot_corpus():
+    for scenario in corpus() + snapshot_corpus() + sec_corpus():
         if scenario.name == name:
             return scenario
     raise KeyError(f"no conformance scenario named {name!r}")

@@ -542,6 +542,29 @@ class SimRun:
         self._emit(p, "sig_count", sig, p.sigcounts.get(sig, 0))
         return True
 
+    def _op_probe(self, p: _Proc, what: str) -> bool:
+        """Attempt a capability attack from inside the scenario process
+        and record the fault class that stopped it.  The event is a
+        pure function of the capability machinery — no schedule, CPU
+        count or strategy dependence — so probes can sit anywhere in a
+        schedule-invariant scenario and the explorer's cross-schedule
+        trace equality doubles as an isolation proof."""
+        buf = p.ctx.malloc(32)
+        try:
+            if what == "oob":
+                p.ctx.load(buf.add(buf.length), 8)
+            else:  # "tag": rebuild a cap from raw bytes, then deref it
+                p.ctx.store_cap(buf, buf.add(8), offset=0)
+                p.ctx.store(buf, p.ctx.load(buf, 16, offset=0), offset=16)
+                p.ctx.load(p.ctx.load_cap(buf, offset=16), 8)
+        except Exception as exc:  # noqa: BLE001 - the class is the event
+            self._emit(p, "probe", what, type(exc).__name__)
+        else:
+            self._emit(p, "probe", what, "unstopped")
+        finally:
+            p.ctx.free(buf)
+        return True
+
 
 def run_sim(scenario: Scenario, strategy: str, num_cpus: int = 1,
             seed: int = 0,

@@ -25,7 +25,8 @@ from __future__ import annotations
 
 from typing import Any, List, Tuple
 
-from repro.core.relocate import RegionPair, relocate_frame, relocate_registers
+from repro.core.relocate import (RegionPair, record_flow, relocate_frame,
+                                 relocate_registers)
 from repro.core.strategies import ShareNote, resolve_all_pending
 from repro.cheri.capability import Perm
 from repro.kernel.task import Process
@@ -114,6 +115,8 @@ def migrate(os: Any, proc: Process) -> int:
     machine.counters.add("migrations")
     machine.trace("migrate", pid=proc.pid, old_base=old_base,
                   new_base=new_base, pages=len(moved))
+    record_flow(machine, "migrate", proc.pid, proc.pid,
+                proc.region_base, proc.region_top)
     return new_base
 
 

@@ -14,8 +14,9 @@ across μprocesses (§4.3).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, List, Optional, Tuple
 
 from repro import perf as _perf
 from repro.cheri.capability import Capability
@@ -187,6 +188,70 @@ def relocate_registers(machine: Any, registers: RegisterFile,
     if relocated:
         machine.obs.count("core.relocate.registers_relocated", relocated)
     return relocated
+
+
+# ---------------------------------------------------------------------------
+# Capability-flow provenance log
+# ---------------------------------------------------------------------------
+#
+# Every event that mints or re-mints a μprocess's region authority —
+# spawn, fork (one relocate_cap sweep per strategy), migrate/compact,
+# snapshot restore — records a compact provenance tuple here.  The
+# security auditor (repro.sec.auditor) uses the log to attribute a
+# leaked capability to the μprocess it was minted for and to print the
+# derivation chain that produced that μprocess's authority.
+
+#: bounded history: old entries age out once a machine has seen this
+#: many authority events (reaped μprocesses stop being attributable,
+#: which is fine — their authority is dead too)
+_FLOW_LOG_CAP = 1024
+
+FlowEvent = Tuple[str, int, int, int, int, str]
+
+
+def record_flow(machine: Any, event: str, src_pid: int, dst_pid: int,
+                region_base: int, region_top: int, detail: str = "") -> None:
+    """Append one authority event to the machine's capability-flow log.
+
+    ``event`` is one of ``spawn``/``fork``/``migrate``/``restore``;
+    ``src_pid`` is the μprocess the authority derives from (0 for the
+    kernel root) and ``dst_pid`` the μprocess it was minted for.
+    """
+    log = getattr(machine, "_capflow", None)
+    if log is None:
+        log = deque(maxlen=_FLOW_LOG_CAP)
+        machine._capflow = log
+    log.append((event, src_pid, dst_pid, region_base, region_top, detail))
+
+
+def flow_log(machine: Any) -> List[FlowEvent]:
+    """The machine's authority events, oldest first."""
+    return list(getattr(machine, "_capflow", ()))
+
+
+def derivation_chain(machine: Any, pid: int, limit: int = 8) -> str:
+    """Human-readable derivation chain for one μprocess's authority.
+
+    Walks the flow log newest-first following ``src_pid`` links, e.g.
+    ``spawn[0->1] -> fork:copa[1->3]`` — the relocate_cap sweeps that
+    produced pid 3's region authority.
+    """
+    links = []
+    cursor = pid
+    events = flow_log(machine)
+    for _ in range(limit):
+        hit = next((e for e in reversed(events) if e[2] == cursor), None)
+        if hit is None:
+            break
+        event, src, dst, _base, _top, detail = hit
+        tag = f"{event}:{detail}" if detail else event
+        links.append(f"{tag}[{src}->{dst}]")
+        if src == 0 or src == cursor:
+            break
+        cursor = src
+    if not links:
+        return "unknown provenance"
+    return " -> ".join(reversed(links))
 
 
 def find_unrelocated(machine: Any, frame: Frame,

@@ -19,7 +19,7 @@ from repro.core.isolation import (
     IsolationConfig,
     make_syscall_gate,
 )
-from repro.core.relocate import RegionPair, relocate_registers
+from repro.core.relocate import RegionPair, record_flow, relocate_registers
 from repro.core.strategies import (
     CopyStrategy,
     ShareNote,
@@ -368,6 +368,8 @@ class UForkOS(AbstractOS):
         obs.count("core.ufork.forks")
         machine.trace("fork", parent=proc.pid, child=child.pid,
                       strategy=strategy.value)
+        record_flow(machine, "fork", proc.pid, child.pid,
+                    child.region_base, child.region_top, strategy.value)
         return child
 
     def _undo_fork_pages(self, child: Process, newly_shared: List[Any]) -> None:
@@ -444,7 +446,12 @@ class UForkOS(AbstractOS):
             proc.shm_bindings = []
         proc.shm_vpns.update(vpns)
         proc.shm_bindings.append((base - proc.layout.base("mmap"), shm))
-        return self._window_cap(proc, base, len(shm.frames) * page)
+        # shared windows carry data authority only: stripping the cap
+        # load/store perms makes the window a capability firewall, so a
+        # μprocess can never smuggle tagged authority to a peer through
+        # shared memory (repro.sec `shm_cap_smuggle`)
+        return self._window_cap(proc, base, len(shm.frames) * page) \
+            .without_perms(Perm.LOAD_CAP | Perm.STORE_CAP)
 
     def _mmap_window_alloc(self, proc: Process, size: int):
         page = self.machine.config.page_size

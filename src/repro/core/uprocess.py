@@ -23,6 +23,7 @@ from repro.cheri.codec import CAP_SIZE
 from repro.cheri.regfile import CGP, CSP, CTP, DDC, PCC
 from repro.core.got import init_got
 from repro.core.isolation import derive_uprocess_roots
+from repro.core.relocate import record_flow
 from repro.hw.paging import AddressSpace
 from repro.mem.allocator import GuestAllocator
 from repro.mem.layout import ProgramImage, SegmentMap
@@ -188,4 +189,6 @@ def load_uprocess(os: Any, image: ProgramImage, name: str,
     os.procs.add(proc)
     os.sched.add(task)
     machine.counters.add("uprocess_loaded")
+    record_flow(machine, "spawn", parent.pid if parent else 0, proc.pid,
+                proc.region_base, proc.region_top)
     return proc

@@ -21,6 +21,8 @@ Usage::
     python -m repro.harness cluster --shards 2 --requests 50000 --json out.json
     python -m repro.harness snapshot --strategy copa --obs-dir out/
     python -m repro.harness snapshot --incremental   # migration payload demo
+    python -m repro.harness sec                      # full attack matrix
+    python -m repro.harness sec --strategies copa --cpus-list 1 --modes clean
 
 Every subcommand owns exactly its own flags (``figures --depth-bound``
 is an error, not silence) and shares the common ``--seed``, ``--cpus``,
@@ -38,7 +40,7 @@ from typing import List, Optional
 
 #: every subcommand; the first is the implied default for bare flags
 SUBCOMMANDS = ("figures", "obs-report", "chaos", "smp", "conform",
-               "conform-farm", "bench", "cluster", "snapshot")
+               "conform-farm", "bench", "cluster", "snapshot", "sec")
 
 #: default output path for the bench report (the BENCH_* trajectory)
 BENCH_REPORT = "BENCH_hotpath.json"
@@ -209,6 +211,25 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="capture only CoW-divergent pages and "
                                "apply them onto a fork twin (the "
                                "cluster-migration payload)")
+
+    sec = sub.add_parser(
+        "sec", parents=[parent],
+        help="adversarial capability-security matrix (docs/SECURITY.md); "
+             "emits a deterministic repro.sec/v1 report")
+    sec.add_argument("--strategies", metavar="LIST", default=None,
+                     help="comma-separated fork strategies "
+                          "(default: full,coa,copa,monolithic)")
+    sec.add_argument("--cpus-list", metavar="LIST", default=None,
+                     help="comma-separated CPU counts per cell "
+                          "(default: 1,2,4; --cpus pins one)")
+    sec.add_argument("--modes", metavar="LIST", default=None,
+                     help="comma-separated run modes from clean,chaos "
+                          "(default: both)")
+    sec.add_argument("--attack", action="append", default=None,
+                     help="run only this attack (repeatable)")
+    sec.add_argument("--fault-mix", metavar="SPEC", default=None,
+                     help="injection rates for the chaos half of the "
+                          "matrix (pattern=rate,...)")
 
     return parser
 
@@ -387,6 +408,38 @@ def _cmd_snapshot(args) -> int:
     return 0 if summary["verdict"] == "identical" else 1
 
 
+def _cmd_sec(args) -> int:
+    from repro.sec.runner import (
+        DEFAULT_CPUS,
+        DEFAULT_FAULT_MIX,
+        MODES,
+        format_summary,
+        run_sec,
+    )
+    from repro.sec.attacks import STRATEGIES
+    strategies = (args.strategies.split(",") if args.strategies
+                  else list(STRATEGIES))
+    if args.cpus is not None:
+        cpus_list = [args.cpus]
+    elif args.cpus_list:
+        cpus_list = [int(n) for n in args.cpus_list.split(",")]
+    else:
+        cpus_list = list(DEFAULT_CPUS)
+    modes = args.modes.split(",") if args.modes else list(MODES)
+    report = run_sec(seed=args.seed, strategies=strategies,
+                     cpus_list=cpus_list, modes=modes,
+                     fault_mix=args.fault_mix or DEFAULT_FAULT_MIX,
+                     attacks=args.attack, obs_dir=args.obs_dir)
+    print(format_summary(report))
+    if args.json:
+        from repro.harness.reportio import write_report
+        write_report(report, args.json)
+        print(f"[wrote {args.json}]")
+    if args.obs_dir:
+        print(f"[sidecar: {args.obs_dir}/sec-{args.seed}.sec.json]")
+    return 0 if report["verdict"] == "defeated" else 1
+
+
 def _cmd_figures(args, parser: argparse.ArgumentParser) -> int:
     from repro.harness.experiments import (
         DEFAULT_DB_SIZES,
@@ -499,6 +552,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _cmd_bench,
         "cluster": _cmd_cluster,
         "snapshot": _cmd_snapshot,
+        "sec": _cmd_sec,
     }
     return handlers[args.command](args)
 

@@ -26,8 +26,8 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.chaos.faults import InjectedRestoreFailure
 from repro.chaos.recovery import Transaction
-from repro.cheri.capability import Capability, Perm
-from repro.core.relocate import RegionPair, relocate_cap
+from repro.cheri.capability import Capability, OTYPE_SENTRY, Perm
+from repro.core.relocate import RegionPair, record_flow, relocate_cap
 from repro.core.strategies import ShareNote, resolve_all_pending
 from repro.errors import KernelError
 from repro.hw.paging import AddressSpace, PagePerm
@@ -37,7 +37,8 @@ from repro.kernel.signals import SignalState
 from repro.kernel.task import Process
 from repro.mem.allocator import GuestAllocator
 from repro.mem.layout import ProgramImage, SegmentMap
-from repro.snapshot.format import SCHEMA, decode, encode
+from repro.snapshot.format import (SCHEMA, SnapshotFormatError, decode,
+                                   encode)
 
 
 class SnapshotError(KernelError):
@@ -249,6 +250,7 @@ def restore(os: Any, blob: bytes, *, name: Optional[str] = None,
             "incremental snapshots lack unmodified pages; apply them "
             "with restore_into() onto a process forked from the image")
     _check_geometry(machine, manifest)
+    _check_manifest(os, manifest)
     tx = Transaction()
     with machine.locks.fork.held():
         try:
@@ -278,6 +280,78 @@ def _check_geometry(machine: Any, manifest: Dict[str, Any]) -> None:
             f"snapshot geometry (page {manifest['page_size']}, granule "
             f"{manifest['granule']}) does not match this machine "
             f"(page {config.page_size}, granule {config.granule})")
+
+
+#: permissions no user-level snapshot capability can legitimately carry
+_PRIVILEGED_PERMS = Perm.SYSTEM | Perm.SEAL | Perm.UNSEAL
+
+
+def _check_cap_record(os: Any, manifest: Dict[str, Any], base: int,
+                      length: int, cursor: int, perms: int,
+                      otype: int) -> None:
+    """Reject capability records that would mint authority the
+    checkpointed μprocess never had.
+
+    A blob is attacker-editable bytes (docs/SECURITY.md): without this
+    check a tampered record could re-enter the kernel's re-minting path
+    carrying privileged permissions or spans outside the snapshot's own
+    region.  Tampering must *fail the restore* — relocation clamping is
+    a second line of defense, not the contract.
+    """
+    if otype == OTYPE_SENTRY:
+        gate = getattr(os, "syscall_gate", None)
+        if gate is None or (base, length, cursor) != (
+                gate.base, gate.length, gate.cursor):
+            raise SnapshotFormatError(
+                "sentry capability record does not match the target "
+                "kernel's syscall gate")
+        return
+    if Perm(perms) & _PRIVILEGED_PERMS:
+        raise SnapshotFormatError(
+            "capability record carries privileged permissions "
+            "(SYSTEM/SEAL/UNSEAL)")
+    if not (manifest["region_base"] <= base
+            and base + length <= manifest["region_top"]):
+        raise SnapshotFormatError(
+            "capability record escapes the snapshot's own region")
+
+
+def _check_manifest(os: Any, manifest: Dict[str, Any]) -> None:
+    """Structural + authority validation of an untrusted manifest.
+
+    Runs before any target-kernel state is touched, so a tampered blob
+    is rejected with a typed error while the kernel is still pristine —
+    no mid-loop failure can strand a half-materialized page.
+    """
+    for key in ("region_base", "region_top", "pages", "registers"):
+        if key not in manifest:
+            raise SnapshotFormatError(
+                f"manifest lacks required field {key!r}")
+    for entry in manifest["pages"]:
+        for key in ("vpn", "perms", "caps"):
+            if key not in entry:
+                raise SnapshotFormatError(
+                    f"page record lacks required field {key!r}")
+        for record in entry["caps"]:
+            if len(record) != 6:
+                raise SnapshotFormatError(
+                    f"malformed capability record {record!r}")
+            _offset, base, length, cursor, perms, otype = record
+            _check_cap_record(os, manifest, base, length, cursor, perms,
+                              otype)
+    for record in manifest["registers"]:
+        if len(record) < 2:
+            raise SnapshotFormatError(
+                f"malformed register record {record!r}")
+        if record[1] == "int":
+            continue
+        if len(record) != 8:
+            raise SnapshotFormatError(
+                f"malformed register record {record!r}")
+        _name, _kind, base, length, cursor, perms, otype, valid = record
+        if valid:
+            _check_cap_record(os, manifest, base, length, cursor, perms,
+                              otype)
 
 
 def _abort_point(machine: Any, point: str) -> None:
@@ -397,6 +471,8 @@ def _restore_phases(os: Any, manifest: Dict[str, Any], payload: memoryview,
     machine.counters.add("restore")
     machine.obs.count("core.snapshot.restores")
     machine.trace("restore", pid=child.pid, pages=len(manifest["pages"]))
+    record_flow(machine, "restore", parent.pid if parent else 0, child.pid,
+                child.region_base, child.region_top)
     return child
 
 
@@ -482,6 +558,7 @@ def restore_into(os: Any, proc: Process, blob: bytes) -> int:
     machine = os.machine
     page = machine.config.page_size
     _check_geometry(machine, manifest)
+    _check_manifest(os, manifest)
     space = os.space_of(proc)
     old_base = manifest["region_base"]
     old_top = manifest["region_top"]

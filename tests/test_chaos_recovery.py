@@ -251,10 +251,29 @@ def _exercise_smp(point):
         f"{point} never fired at its instrumentation site"
 
 
+def _exercise_sec(point):
+    """sec.* points fire inside the security-matrix runner's cells."""
+    from repro.sec.attacks import ATTACKS
+    from repro.sec.runner import run_cell
+    attack_name = ("snapshot_magic_tamper"
+                   if point == "sec.snapshot.bitflip" else "bounds_widen")
+    attack, body = ATTACKS[attack_name]
+    cell = run_cell(attack, body, "copa", 1, "chaos", 7,
+                    f"default=0.0,{point}=1.0")
+    assert cell["verdict"] == "defeated"
+    if point == "sec.attack.replay":
+        assert cell["replayed"]
+    assert cell["chaos_fired"].get(point, 0) >= 1, \
+        f"{point} never fired at its instrumentation site"
+
+
 def _exercise(point):
     """Drive the one workload fragment that hits ``point``'s site."""
     if point.startswith("smp."):
         _exercise_smp(point)
+        return
+    if point.startswith("sec."):
+        _exercise_sec(point)
         return
     os_, ctx, engine = chaos_os(f"{point}=1.0", eager_copy=False)
     if point == "hw.phys.alloc_fail":

@@ -22,6 +22,7 @@ DOCS = [
     REPO_ROOT / "docs" / "COSTMODEL.md",
     REPO_ROOT / "docs" / "CLUSTER.md",
     REPO_ROOT / "docs" / "SNAPSHOT.md",
+    REPO_ROOT / "docs" / "SECURITY.md",
 ]
 
 _FENCE_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
