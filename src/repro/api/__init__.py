@@ -98,6 +98,12 @@ class Session:
     * ``chaos`` — a fault-mix spec string (see docs/CHAOS.md), e.g.
       ``"default=0.01,core.ufork.abort.*=0.2"``, to attach a seeded
       :class:`repro.chaos.ChaosEngine`; ``None`` (default) runs clean.
+    * ``perf`` — storage/batching representation
+      (docs/ARCHITECTURE.md "Vectorized engine"): ``True`` forces the
+      vectorized engine, ``False`` the self-contained per-page one,
+      ``None`` (default) follows the ``REPRO_PERF`` environment
+      variable.  Simulated results are byte-identical either way; only
+      host speed differs.
 
     ``boot()`` is idempotent and implied by ``spawn``/``run``/``report``
     and by entering the session as a context manager.
@@ -105,7 +111,8 @@ class Session:
 
     def __init__(self, *, os: str = "ufork", strategy: str = "copa",
                  isolation: str = "fault", cpus: int = 1, seed: int = 7,
-                 obs: bool = False, chaos: Optional[str] = None) -> None:
+                 obs: bool = False, chaos: Optional[str] = None,
+                 perf: Optional[bool] = None) -> None:
         # validate eagerly so typos fail at construction, not at boot
         _resolve_os(os)
         _resolve_strategy(strategy)
@@ -119,6 +126,7 @@ class Session:
         self.seed = seed
         self.obs_enabled = obs
         self.chaos_spec = chaos
+        self.perf = perf
         self.machine: Optional[Any] = None
         self.os: Optional[Any] = None
 
@@ -129,7 +137,8 @@ class Session:
         if self.os is not None:
             return self
         from repro.machine import Machine as _MachineCls
-        self.machine = _MachineCls(seed=self.seed, num_cpus=self.cpus)
+        self.machine = _MachineCls(seed=self.seed, num_cpus=self.cpus,
+                                   perf=self.perf)
         if self.chaos_spec is not None:
             from repro.chaos import ChaosEngine, FaultMix
             ChaosEngine(seed=self.seed,
@@ -272,7 +281,8 @@ def Machine(*args: Any, **kwargs: Any):
     Forwards unchanged to :class:`repro.machine.Machine`.
     """
     warnings.warn(
-        "repro.api.Machine is deprecated; use repro.api.Session "
+        "repro.api.Machine is deprecated and will be removed in "
+        "repro 2.0; use repro.api.Session "
         "(or repro.machine.Machine for low-level work)",
         DeprecationWarning, stacklevel=2)
     from repro.machine import Machine as _MachineCls
@@ -285,8 +295,8 @@ def make_scheduler(machine: Any, same_address_space: bool):
     Forwards unchanged to :func:`repro.kernel.sched.make_scheduler`.
     """
     warnings.warn(
-        "repro.api.make_scheduler is deprecated; Session.boot() selects "
-        "the scheduler from cpus=",
+        "repro.api.make_scheduler is deprecated and will be removed in "
+        "repro 2.0; Session.boot() selects the scheduler from cpus=",
         DeprecationWarning, stacklevel=2)
     from repro.kernel.sched import make_scheduler as _make
     return _make(machine, same_address_space)

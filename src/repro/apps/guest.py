@@ -17,7 +17,7 @@ import struct
 from typing import Any, Optional, Tuple
 
 from repro import perf as _perf
-from repro.cheri.capability import Capability, Perm
+from repro.cheri.capability import OTYPE_UNSEALED, Capability, Perm
 from repro.cheri.codec import CAP_SIZE
 from repro.kernel.task import Process
 
@@ -97,6 +97,38 @@ class GuestContext:
         addr = cap.check_access(Perm.STORE, size=len(data),
                                 addr=cap.cursor + offset)
         self.space.write(addr, data)
+
+    def store_run(self, cap: Capability, data: bytes, offsets) -> None:
+        """``store(cap, data, offset)`` for every offset, in order.
+
+        The guest-side batch primitive (a fork server dirtying its
+        pages, a buffer fill): one capability span check covers the
+        whole run — sound because the hull of the accessed intervals
+        passing bounds implies every member passes, and the
+        tag/seal/permission checks are offset-independent — and the
+        space batches the store charges.  Any capability that would
+        fault takes the per-store loop instead, so the faulting access
+        and its fault class are exactly those of the unbatched calls.
+        """
+        if _perf.ENABLED and offsets:
+            size = len(data)
+            cursor = cap.cursor
+            lo = min(offsets)
+            hi = max(offsets)
+            bits = _PERM_STORE._value_
+            if cap.valid and cap.otype == OTYPE_UNSEALED and \
+                    (cap.perms._value_ & bits) == bits and \
+                    cap.base <= cursor + lo and \
+                    cursor + hi + size <= cap.base + cap.length:
+                space = self._space_memo
+                if space is None:
+                    space = self.os.space_of(self.proc)
+                    self._space_memo = space
+                space.write_run([cursor + offset for offset in offsets],
+                                data)
+                return
+        for offset in offsets:
+            self.store(cap, data, offset)
 
     def load_u64(self, cap: Capability, offset: int = 0) -> int:
         return _U64.unpack(self.load(cap, 8, offset))[0]

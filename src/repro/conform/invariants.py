@@ -152,7 +152,7 @@ def _check_cap_flow(os_: Any) -> List[str]:
 
 def _check_frames(machine: Any) -> List[str]:
     violations: List[str] = []
-    for number, frame in machine.phys._frames.items():
+    for number, frame in machine.phys.frames_items():
         if frame.refcount <= 0:
             violations.append(
                 f"frames: frame {number} allocated with refcount "

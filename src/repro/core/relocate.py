@@ -27,6 +27,10 @@ from repro.hw.phys import Frame
 #: the per-machine raw-relocation memo is dropped wholesale at this size
 _RELOC_MEMO_CAP = 65536
 
+#: the per-machine whole-page content memo (fork's fused copy+relocate
+#: path) is dropped wholesale at this size
+_PAGE_MEMO_CAP = 4096
+
 #: memo-miss sentinel (``None`` is a legitimate cached value)
 _MISSING = object()
 
@@ -114,6 +118,127 @@ def relocate_frame(machine: Any, frame: Frame, regions: RegionPair) -> int:
     return relocated
 
 
+def relocate_frames(machine: Any, frames: List[Frame],
+                    regions: RegionPair) -> int:
+    """Relocate a batch of already-copied frames (fork's bulk path).
+
+    Simulated-identical to calling :func:`relocate_frame` once per
+    frame: the per-frame page-scan charge and sweep counts are batched
+    into single sum-equal updates when the scan cost is integral (the
+    charges round identically per frame, and counters/metrics record
+    pure sums).  Falls back to the per-frame loop whenever batching
+    could be observable (tracer attached, non-integral scan cost, or
+    :mod:`repro.perf` disabled).
+    """
+    count = len(frames)
+    if count == 0:
+        return 0
+    config = machine.config
+    scan_ns = machine.costs.page_scan_ns(config.page_size, config.granule)
+    if not _perf.ENABLED or machine.tracer is not None or \
+            scan_ns != int(scan_ns):
+        total = 0
+        for frame in frames:
+            total += relocate_frame(machine, frame, regions)
+        return total
+    machine.charge(int(scan_ns) * count, "reloc_scan")
+    obs = machine.obs
+    obs_enabled = obs.enabled
+    if obs_enabled:
+        obs.count("core.relocate.frames_scanned", count)
+        obs.count("hw.phys.tag_granules_scanned",
+                  (config.page_size // config.granule) * count)
+    counters = machine.counters
+    total = 0
+    for frame in frames:
+        relocated = _relocate_frame_memoised(machine, frame, regions)
+        if relocated:
+            counters.add("caps_relocated", relocated)
+            if obs_enabled:
+                obs.count("core.relocate.caps_relocated", relocated)
+                obs.count("trace.relocate_frame")
+            total += relocated
+    return total
+
+
+def relocate_copied_frames(machine: Any, phys: Any, srcs: List[int],
+                           dsts: List[int], regions: RegionPair) -> int:
+    """Relocate fork-copied frames through a whole-page content memo.
+
+    ``dsts[i]`` holds a fresh tag-preserving copy of ``srcs[i]``.
+    Simulated-identical to :func:`relocate_frames` over the destination
+    frames; the extra lever is a memo keyed on the *source* frame's
+    ``(number, version)`` plus the region pair.  A source page that has
+    not been written since the last fork over the same region pair
+    relocates to exactly the same destination bytes, so the memo replays
+    the post-relocation page content (data + tags) instead of rescanning
+    granules — the common case for a fork server whose image is stable
+    across forks.
+
+    Charge/counter parity: the per-frame scan charge and sweep counts
+    are batched exactly as in :func:`relocate_frames`; memo-hit frames
+    batch their ``cap_relocate_ns`` charges into one sum-equal advance
+    (integral cost pre-checked — non-integral costs, an attached tracer
+    or disabled perf all take the per-frame path).
+    """
+    count = len(dsts)
+    if count == 0:
+        return 0
+    config = machine.config
+    scan_ns = machine.costs.page_scan_ns(config.page_size, config.granule)
+    per_cap = machine.costs.cap_relocate_ns
+    if not _perf.ENABLED or machine.tracer is not None or \
+            scan_ns != int(scan_ns) or per_cap != int(per_cap):
+        total = 0
+        for dst in dsts:
+            total += relocate_frame(machine, phys.frame(dst), regions)
+        return total
+    memo = getattr(machine, "_page_memo", None)
+    if memo is None:
+        memo = machine._page_memo = {}
+    region_key = (regions.parent_base, regions.parent_top,
+                  regions.child_base, regions.child_top)
+    machine.charge(int(scan_ns) * count, "reloc_scan")
+    obs = machine.obs
+    obs_enabled = obs.enabled
+    if obs_enabled:
+        obs.count("core.relocate.frames_scanned", count)
+        obs.count("hw.phys.tag_granules_scanned",
+                  (config.page_size // config.granule) * count)
+    counters = machine.counters
+    frame_of = phys.frame
+    total = 0
+    caps_batched = 0
+    for src, dst in zip(srcs, dsts):
+        src_frame = frame_of(src)
+        dst_frame = frame_of(dst)
+        key = (region_key, src, src_frame.version)
+        entry = memo.get(key, _MISSING)
+        if entry is _MISSING:
+            relocated = _relocate_frame_memoised(machine, dst_frame, regions)
+            if len(memo) >= _PAGE_MEMO_CAP:
+                memo.clear()
+            if relocated:
+                memo[key] = (*dst_frame.snapshot_content(), relocated)
+            else:
+                memo[key] = 0
+        elif entry != 0:
+            data_bytes, tags_bytes, relocated = entry
+            dst_frame.restore_content(data_bytes, tags_bytes)
+            caps_batched += relocated
+        else:
+            relocated = 0
+        if relocated:
+            counters.add("caps_relocated", relocated)
+            if obs_enabled:
+                obs.count("core.relocate.caps_relocated", relocated)
+                obs.count("trace.relocate_frame")
+            total += relocated
+    if caps_batched:
+        machine.charge(int(per_cap) * caps_batched, "reloc_cap")
+    return total
+
+
 def _relocate_frame_memoised(machine: Any, frame: Frame,
                              regions: RegionPair) -> int:
     """The :mod:`repro.perf` scan: memoises relocation at the raw-bytes
@@ -139,7 +264,6 @@ def _relocate_frame_memoised(machine: Any, frame: Frame,
                   regions.child_base, regions.child_top)
     codec = machine.codec
     data = frame.data
-    tags = frame.tags
     relocated = 0
     for offset in frame.tagged_granules():
         raw = bytes(data[offset:offset + CAP_SIZE])
@@ -159,8 +283,7 @@ def _relocate_frame_memoised(machine: Any, frame: Frame,
                 memo[key] = entry
         if entry is not None:
             new_raw, new_tag = entry
-            data[offset:offset + CAP_SIZE] = new_raw
-            tags[offset // CAP_SIZE] = new_tag
+            frame.write_granule(offset, new_raw, new_tag)
             relocated += 1
     if relocated:
         per_cap = machine.costs.cap_relocate_ns

@@ -21,11 +21,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro import perf as _perf
-from repro.core.relocate import RegionPair, relocate_frame
-from repro.hw.paging import AccessKind, AddressSpace, PagePerm, PTE
+from repro.core.relocate import (
+    RegionPair,
+    relocate_copied_frames,
+    relocate_frame,
+)
+from repro.hw.paging import AccessKind, AddressSpace, PagePerm
 
 
 class CopyStrategy(Enum):
@@ -53,6 +57,9 @@ class ShareNote:
 #: distinct (strategy, perms) pairs makes a tiny permanent memo
 _CHILD_PERMS_MEMO: Dict[Tuple[CopyStrategy, int], PagePerm] = {}
 _PARENT_PERMS_MEMO: Dict[int, PagePerm] = {}
+
+#: fault-kind → counter-name memo (f-string hoisted off the fault path)
+_CHILD_BREAK_COUNTER: Dict[AccessKind, str] = {}
 
 
 def child_share_perms(strategy: CopyStrategy,
@@ -92,24 +99,6 @@ def parent_share_perms(orig_perms: PagePerm) -> PagePerm:
     return orig_perms & ~PagePerm.WRITE
 
 
-def _note_index(space: AddressSpace) -> Optional[set]:
-    """The space's candidate set of vpns that may carry a ShareNote.
-
-    Gated on the space's construction-time :mod:`repro.perf` snapshot.
-    The set is an *over-approximation*: sites that clear a note without
-    knowing its vpn (fork rollback, unmap) leave stale members behind,
-    and :func:`iter_share_notes` re-validates and prunes every candidate
-    — so audits see exactly the notes a full page-table scan would.
-    """
-    if not getattr(space, "_perf", False):
-        return None
-    index = getattr(space, "_share_note_vpns", None)
-    if index is None:
-        index = set()
-        space._share_note_vpns = index
-    return index
-
-
 def setup_shared_page(space: AddressSpace, parent_vpn: int, child_vpn: int,
                       strategy: CopyStrategy, regions: RegionPair) -> None:
     """Fork-time setup for one page under CoA/CoPA."""
@@ -134,10 +123,76 @@ def setup_shared_page(space: AddressSpace, parent_vpn: int, child_vpn: int,
         parent_pte.note = ShareNote("parent", strategy, regions, orig)
     machine.charge(machine.costs.pte_protect_ns, "fork_protect")
 
-    index = _note_index(space)
-    if index is not None:
-        index.add(parent_vpn)
-        index.add(child_vpn)
+
+def setup_shared_pages(space: AddressSpace, items, delta_pages: int,
+                       strategy: CopyStrategy, regions: RegionPair,
+                       newly_shared: list) -> None:
+    """Bulk fork-time sharing setup (the vectorized copy_pages path).
+
+    ``items`` are ``(vpn, frame, perms_int, note)`` tuples, vpn
+    ascending.  Charge-for-charge and state-for-state equivalent to
+    calling :func:`setup_shared_page` per page: runs of consecutive
+    vpns with equal original permissions become one ``map_run`` on the
+    child side (sharing a single interned :class:`ShareNote` — notes
+    are never mutated, only replaced), parent protection is applied
+    in place, and the per-page PTE charges are batched as sum-equal
+    totals.  The caller guarantees the PTE costs are integral, no
+    tracer is attached, and chaos is off.
+
+    Parent vpns newly write-protected are appended to ``newly_shared``
+    as ints (fork rollback resolves them through the space).
+    """
+    count = len(items)
+    if not count:
+        return
+    machine = space.machine
+    costs = machine.costs
+    child_notes: Dict[int, ShareNote] = {}
+    parent_notes: Dict[int, ShareNote] = {}
+    map_run = space.map_run
+    protect_run = space.protect_run
+    set_note_many = space.set_note_many
+    index = 0
+    while index < count:
+        vpn, _frame, perms_int, note = items[index]
+        orig_int = int(note.orig_perms) if isinstance(note, ShareNote) \
+            else perms_int
+        end = index + 1
+        while end < count:
+            nvpn, _nframe, nperms, nnote = items[end]
+            if nvpn != vpn + (end - index):
+                break
+            norig = int(nnote.orig_perms) if isinstance(nnote, ShareNote) \
+                else nperms
+            if norig != orig_int:
+                break
+            end += 1
+        run = items[index:end]
+        orig = PagePerm(orig_int)
+        child_note = child_notes.get(orig_int)
+        if child_note is None:
+            child_note = ShareNote("child", strategy, regions, orig)
+            child_notes[orig_int] = child_note
+        map_run(vpn + delta_pages, [item[1] for item in run],
+                child_share_perms(strategy, orig), incref=True,
+                note=child_note)
+        parent_perms = parent_share_perms(orig)
+        parent_note = parent_notes.get(orig_int)
+        if parent_note is None:
+            parent_note = ShareNote("parent", strategy, regions, orig)
+            parent_notes[orig_int] = parent_note
+        protect_run(vpn, end - index, parent_perms)
+        unnoted = [parent_vpn
+                   for parent_vpn, _pframe, _pperms, pnote in run
+                   if not isinstance(pnote, ShareNote)]
+        if unnoted:
+            set_note_many(unnoted, parent_note)
+            newly_shared.extend(unnoted)
+        index = end
+    machine.charge(int(costs.pte_bulk_share_ns) * count, "fork_map")
+    if strategy is CopyStrategy.COA:
+        machine.charge(int(costs.pte_coa_extra_ns) * count, "fork_map")
+    machine.charge(int(costs.pte_protect_ns) * count, "fork_protect")
 
 
 def copy_page_for_child(space: AddressSpace, child_vpn: int,
@@ -170,19 +225,19 @@ def handle_fork_fault(space: AddressSpace, vaddr: int,
     """
     machine = space.machine
     vpn = vaddr // machine.config.page_size
-    pte = space.page_table.get(vpn)
-    if pte is None or not isinstance(pte.note, ShareNote):
+    note = space.note_of(vpn)
+    if not isinstance(note, ShareNote):
         return False
-    note = pte.note
 
     if note.role == "parent":
         if kind is not AccessKind.WRITE:
             return False  # parent reads never fault under either strategy
-        _make_private(space, vpn, pte, relocate=False, note=note)
+        _make_private(space, vpn, relocate=False, note=note)
         machine.counters.add("fork_parent_cow_break")
-        machine.obs.count(
-            f"core.strategies.{note.strategy.value}.break.parent.write")
-        machine.trace("cow_break", role="parent", vpn=vpn)
+        if machine.tracer is not None or machine.obs.enabled:
+            machine.obs.count(
+                f"core.strategies.{note.strategy.value}.break.parent.write")
+            machine.trace("cow_break", role="parent", vpn=vpn)
         return True
 
     # child side: writes always break; reads/exec/cap-loads depend on strategy
@@ -197,36 +252,149 @@ def handle_fork_fault(space: AddressSpace, vaddr: int,
             machine.charge(machine.costs.page_fault_ns, "page_fault")
             machine.obs.count("core.strategies.cap_fault_storm_repeats")
         machine.chaos.note_recovery("core.strategies.cap_fault_storm")
-    _make_private(space, vpn, pte, relocate=True, note=note)
-    machine.counters.add(f"fork_child_break_{kind.name.lower()}")
-    machine.obs.count(f"core.strategies.{note.strategy.value}"
-                      f".break.child.{kind.name.lower()}")
-    machine.trace("cow_break", role="child", vpn=vpn,
-                  kind=kind.name.lower())
+    _make_private(space, vpn, relocate=True, note=note)
+    counter = _CHILD_BREAK_COUNTER.get(kind)
+    if counter is None:
+        counter = f"fork_child_break_{kind.name.lower()}"
+        _CHILD_BREAK_COUNTER[kind] = counter
+    machine.counters.add(counter)
+    if machine.tracer is not None or machine.obs.enabled:
+        machine.obs.count(f"core.strategies.{note.strategy.value}"
+                          f".break.child.{kind.name.lower()}")
+        machine.trace("cow_break", role="child", vpn=vpn,
+                      kind=kind.name.lower())
     return True
 
 
-def _make_private(space: AddressSpace, vpn: int, pte: PTE,
+def handle_fork_write_run(space: AddressSpace, vpns) -> bool:
+    """Bulk CoW break for a run of write-blocked pages — the lookahead
+    :meth:`AddressSpace.write_run` offers before per-fault dispatch.
+
+    Commits only when EVERY vpn is a clean ShareNote write-break whose
+    restored permissions allow the write; anything else (foreign notes,
+    genuinely read-only pages, imminent frame exhaustion, chaos, a
+    tracer, non-integral costs) returns False with no state touched,
+    and the per-op loop reproduces the exact fault/exception sequence.
+
+    Simulated-identical to faulting the pages one at a time in order:
+    fault and page-copy charges are batched as sum-equal pre-rounded
+    advances; frame allocation and refcount evolution follow the same
+    vpn order (no frame can be freed mid-run — every frame this path
+    decrefs is still referenced by the other side of the share); the
+    counters and observability records are pure sums plus a last-value
+    gauge.
+    """
+    machine = space.machine
+    if not _perf.ENABLED or machine.tracer is not None \
+            or machine.chaos.enabled or machine.num_cpus > 1:
+        return False  # SMP per-op dispatch serializes on the fault lock
+    costs = machine.costs
+    config = machine.config
+    fault_ns = costs.page_fault_ns
+    scan_ns = costs.page_scan_ns(config.page_size, config.granule)
+    per_cap = costs.cap_relocate_ns
+    if fault_ns != int(fault_ns) or scan_ns != int(scan_ns) \
+            or per_cap != int(per_cap):
+        return False
+    req = AccessKind.WRITE._req_bits
+    note_of = space.note_of
+    breaks = []
+    for vpn in vpns:
+        note = note_of(vpn)
+        if not isinstance(note, ShareNote):
+            return False
+        if (int(note.orig_perms) & req) != req:
+            return False  # the write still faults after the break
+        breaks.append((vpn, note))
+    phys = machine.phys
+    frame_of = space.frame_of
+    refcount = phys.refcount
+    pending: Dict[int, int] = {}
+    copies = []  # (vpn, note, src_frame)
+    solos = []   # (vpn, note, frame) — already sole owner, no copy
+    for vpn, note in breaks:
+        frame = frame_of(vpn)
+        if refcount(frame) - pending.get(frame, 0) > 1:
+            pending[frame] = pending.get(frame, 0) + 1
+            copies.append((vpn, note, frame))
+        else:
+            solos.append((vpn, note, frame))
+    if copies and phys.free_frames() < len(copies):
+        return False  # per-op dispatch reproduces the exact mid-OOM state
+    count = len(breaks)
+    machine.charge(int(fault_ns) * count, "page_fault")
+    counters = machine.counters
+    counters.add(AccessKind.WRITE._fault_counter, count)
+    obs = machine.obs
+    obs_on = obs.enabled
+    if obs_on:
+        obs.count(AccessKind.WRITE._fault_obs, count)
+        obs.count("trace.page_fault", count)
+    if copies:
+        dsts = phys.copy_frames([item[2] for item in copies],
+                                preserve_tags=True)
+        counters.add("fork_page_copies", len(copies))
+        # child-role copies still hold parent-region capabilities:
+        # relocate per region pair through the fork content memo
+        by_regions: Dict[RegionPair, Tuple[list, list]] = {}
+        for (vpn, note, src), dst in zip(copies, dsts):
+            if note.role == "child":
+                group = by_regions.setdefault(note.regions, ([], []))
+                group[0].append(src)
+                group[1].append(dst)
+        for regions, (srcs, dst_group) in by_regions.items():
+            relocate_copied_frames(machine, phys, srcs, dst_group,
+                                   regions)
+        privatize = space.privatize_page
+        decref = phys.decref
+        for (vpn, note, src), dst in zip(copies, dsts):
+            decref(src)  # never frees: the share's peer still holds it
+            privatize(vpn, note.orig_perms, dst, decref_old=False)
+    for vpn, note, frame in solos:
+        if note.role == "child":
+            # last sharer: private already, but may still hold
+            # parent-region capabilities needing relocation
+            relocate_frame(machine, phys.frame(frame), note.regions)
+        space.privatize_page(vpn, note.orig_perms)
+    parent_breaks = sum(1 for _vpn, note in breaks
+                        if note.role == "parent")
+    child_breaks = count - parent_breaks
+    if parent_breaks:
+        counters.add("fork_parent_cow_break", parent_breaks)
+    if child_breaks:
+        counters.add("fork_child_break_write", child_breaks)
+    if obs_on:
+        tallies: Dict[str, int] = {}
+        for _vpn, note in breaks:
+            side = "parent" if note.role == "parent" else "child"
+            key = (f"core.strategies.{note.strategy.value}"
+                   f".break.{side}.write")
+            tallies[key] = tallies.get(key, 0) + 1
+        for key, value in tallies.items():
+            obs.count(key, value)
+        obs.count("trace.cow_break", count)
+    return True
+
+
+def _make_private(space: AddressSpace, vpn: int,
                   relocate: bool, note: ShareNote) -> None:
     """Give this mapping a private frame (copying if still shared) and
     restore its original permissions."""
     machine = space.machine
-    if machine.phys.refcount(pte.frame) > 1:
-        new_frame = machine.phys.copy_frame(pte.frame, preserve_tags=True)
+    phys = machine.phys
+    frame = space.frame_of(vpn)
+    if phys.refcount(frame) > 1:
+        new_frame = phys.cow_copy(frame)
         if relocate:
-            relocate_frame(machine, machine.phys.frame(new_frame),
-                           note.regions)
-        space.replace_frame(vpn, new_frame)
+            relocate_frame(machine, phys.frame(new_frame), note.regions)
+        space.privatize_page(vpn, note.orig_perms, new_frame)
         machine.counters.add("fork_page_copies")
-    elif relocate:
+        return
+    if relocate:
         # Last sharer (peer exited/copied): the frame is now private but
         # may still hold parent-region capabilities needing relocation.
-        relocate_frame(machine, machine.phys.frame(pte.frame), note.regions)
-    pte.perms = note.orig_perms
-    pte.note = None
-    index = getattr(space, "_share_note_vpns", None)
-    if index is not None:
-        index.discard(vpn)
+        relocate_frame(machine, phys.frame(frame), note.regions)
+    space.privatize_page(vpn, note.orig_perms)
 
 
 def resolve_all_pending(space: AddressSpace, region_base: int,
@@ -239,13 +407,14 @@ def resolve_all_pending(space: AddressSpace, region_base: int,
     """
     machine = space.machine
     page = machine.config.page_size
+    lo = region_base // page
+    hi = (region_top + page - 1) // page
     resolved = 0
-    for vpn in range(region_base // page, (region_top + page - 1) // page):
-        pte = space.page_table.get(vpn)
-        if pte is not None and isinstance(pte.note, ShareNote) \
-                and pte.note.role == "child":
+    for vpn, note in space.noted_items():
+        if lo <= vpn < hi and isinstance(note, ShareNote) \
+                and note.role == "child":
             machine.charge(machine.costs.page_fault_ns, "page_fault")
-            _make_private(space, vpn, pte, relocate=True, note=pte.note)
+            _make_private(space, vpn, relocate=True, note=note)
             resolved += 1
     if resolved:
         machine.obs.count("core.strategies.resolved_pending_pages",
@@ -261,22 +430,13 @@ def iter_share_notes(space: AddressSpace):
     role is unknown, or whose restored permissions would be *narrower*
     than the current ones (sharing only ever removes permissions).
 
-    With :mod:`repro.perf` enabled the walk is served from the space's
-    candidate-vpn index (see :func:`_note_index`) instead of a full
-    page-table scan; every candidate is re-validated against the live
-    PTE, so the audited set is identical either way.
+    Both representations yield ascending vpn order: the flat table
+    serves the walk from its exact sparse note dict, the
+    self-contained table from a full (sorted) page-table scan — the
+    audited set is identical either way.
     """
-    if getattr(space, "_perf", False):
-        index = getattr(space, "_share_note_vpns", None)
-        if index is None:
-            return  # no ShareNote was ever created in this space
-        for vpn in sorted(index):
+    for vpn, note in space.noted_items():
+        if isinstance(note, ShareNote):
             pte = space.page_table.get(vpn)
-            if pte is None or not isinstance(pte.note, ShareNote):
-                index.discard(vpn)
-                continue
-            yield vpn, pte, pte.note
-        return
-    for vpn, pte in space.page_table.entries():
-        if isinstance(pte.note, ShareNote):
-            yield vpn, pte, pte.note
+            if pte is not None:
+                yield vpn, pte, note

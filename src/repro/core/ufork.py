@@ -19,14 +19,21 @@ from repro.core.isolation import (
     IsolationConfig,
     make_syscall_gate,
 )
-from repro.core.relocate import RegionPair, record_flow, relocate_registers
+from repro.core.relocate import (
+    RegionPair,
+    record_flow,
+    relocate_copied_frames,
+    relocate_registers,
+)
 from repro.core.strategies import (
     CopyStrategy,
     ShareNote,
     copy_page_for_child,
     handle_fork_fault,
+    handle_fork_write_run,
     resolve_all_pending,
     setup_shared_page,
+    setup_shared_pages,
 )
 from repro.core.uprocess import load_uprocess
 from repro.hw.paging import AddressSpace, PagePerm
@@ -82,6 +89,7 @@ class UForkOS(AbstractOS):
         #: the one address space (kernel + all μprocesses)
         self.space = AddressSpace(machine, "sasos")
         self.space.fault_handler = self._handle_fault
+        self.space.write_break_hook = handle_fork_write_run
         #: pid -> (lo, hi) demand-zero heap ranges (dynamic heaps, §4.2)
         self._demand_zero = {}
 
@@ -144,7 +152,19 @@ class UForkOS(AbstractOS):
     def _handle_fault(self, space: AddressSpace, vaddr: int, kind) -> bool:
         # CoW/CoPA fault resolution mutates shared PTE state, so on an
         # SMP machine it runs under the fault spinlock (free at 1 CPU).
-        with self.machine.locks.fault.held():
+        machine = self.machine
+        if machine.num_cpus <= 1:
+            # CONFIG_SMP=n: acquire/release are no-ops at 1 CPU, so
+            # only the guard's IRQ-disable section is kept (inline —
+            # the fault path runs this once per CoW break)
+            machine.irq_depth += 1
+            try:
+                if handle_fork_fault(space, vaddr, kind):
+                    return True
+                return self._handle_demand_zero(vaddr)
+            finally:
+                machine.irq_depth -= 1
+        with machine.locks.fault.held():
             if handle_fork_fault(space, vaddr, kind):
                 return True
             return self._handle_demand_zero(vaddr)
@@ -292,31 +312,34 @@ class UForkOS(AbstractOS):
         newly_shared: List[Any] = []
         tx.on_abort(lambda: self._undo_fork_pages(child, newly_shared))
         with obs.span("copy_pages"):
-            for vpn in range(lo, hi):
-                parent_pte = self.space.page_table.get(vpn)
-                if parent_pte is None:
-                    continue  # demand areas (mmap window) may be sparse
-                child_vpn = vpn + delta_pages
-                if vpn in shm_vpns:
-                    # MAP_SHARED memory: same frames, by design (§3.7)
-                    self.space.map_page(child_vpn, parent_pte.frame,
-                                        parent_pte.perms, incref=True)
-                    machine.charge(machine.costs.pte_bulk_share_ns,
-                                   "fork_map")
-                elif vpn in eager or \
-                        strategy is CopyStrategy.FULL_COPY:
-                    orig = (parent_pte.note.orig_perms
-                            if isinstance(parent_pte.note, ShareNote)
-                            else parent_pte.perms)
-                    copy_page_for_child(self.space, child_vpn,
-                                        parent_pte.frame,
-                                        orig, regions, map_new=True)
-                else:
-                    was_shared = isinstance(parent_pte.note, ShareNote)
-                    setup_shared_page(self.space, vpn, child_vpn,
-                                      strategy, regions)
-                    if not was_shared:
-                        newly_shared.append(parent_pte)
+            if not self._copy_pages_bulk(strategy, regions, delta_pages,
+                                         eager, shm_vpns, lo, hi,
+                                         newly_shared):
+                for vpn in range(lo, hi):
+                    parent_pte = self.space.page_table.get(vpn)
+                    if parent_pte is None:
+                        continue  # demand areas (mmap window) may be sparse
+                    child_vpn = vpn + delta_pages
+                    if vpn in shm_vpns:
+                        # MAP_SHARED memory: same frames, by design (§3.7)
+                        self.space.map_page(child_vpn, parent_pte.frame,
+                                            parent_pte.perms, incref=True)
+                        machine.charge(machine.costs.pte_bulk_share_ns,
+                                       "fork_map")
+                    elif vpn in eager or \
+                            strategy is CopyStrategy.FULL_COPY:
+                        orig = (parent_pte.note.orig_perms
+                                if isinstance(parent_pte.note, ShareNote)
+                                else parent_pte.perms)
+                        copy_page_for_child(self.space, child_vpn,
+                                            parent_pte.frame,
+                                            orig, regions, map_new=True)
+                    else:
+                        was_shared = isinstance(parent_pte.note, ShareNote)
+                        setup_shared_page(self.space, vpn, child_vpn,
+                                          strategy, regions)
+                        if not was_shared:
+                            newly_shared.append(parent_pte)
         self._abort_point("core.ufork.abort.copy_pages", proc)
 
         # §2.2: μFork knows the μprocess's CPU footprint, so the
@@ -372,20 +395,124 @@ class UForkOS(AbstractOS):
                     child.region_base, child.region_top, strategy.value)
         return child
 
+    def _copy_pages_bulk(self, strategy: CopyStrategy, regions: RegionPair,
+                         delta_pages: int, eager: Set[int],
+                         shm_vpns: Set[int], lo: int, hi: int,
+                         newly_shared: List[Any]) -> bool:
+        """Vectorized page-duplication phase (see docs/ARCHITECTURE.md).
+
+        One region sweep classifies every mapping, then each class is
+        handled with bulk primitives: shared-memory pages and eager
+        copies become ``map_run`` slices over batch-copied frames, and
+        CoA/CoPA sharing goes through
+        :func:`repro.core.strategies.setup_shared_pages`.  The
+        simulated charge/counter stream is sum-equal to the per-page
+        loop, so it is only taken when batching is unobservable:
+        flat-table space, no tracer, chaos off, integral PTE costs, and
+        enough free frames that the loop cannot hit mid-copy OOM
+        (whose partial state the per-page loop must reproduce).
+        Returns False when the caller must run the per-page loop.
+        """
+        machine = self.machine
+        space = self.space
+        if not getattr(space, "_perf", False) or machine.tracer is not None \
+                or machine.chaos.enabled:
+            return False
+        costs = machine.costs
+        if costs.pte_bulk_share_ns != int(costs.pte_bulk_share_ns) or \
+                costs.pte_coa_extra_ns != int(costs.pte_coa_extra_ns) or \
+                costs.pte_protect_ns != int(costs.pte_protect_ns):
+            return False
+        full = strategy is CopyStrategy.FULL_COPY
+        shm_items: List[Any] = []
+        copy_items: List[Any] = []
+        share_items: List[Any] = []
+        for item in space.mapped_items(lo, hi):
+            vpn = item[0]
+            if vpn in shm_vpns:
+                shm_items.append(item)
+            elif full or vpn in eager:
+                copy_items.append(item)
+            else:
+                share_items.append((vpn, item[1], item[2], item[4]))
+        phys = machine.phys
+        if copy_items and phys.free_frames() < len(copy_items):
+            return False
+        bulk_ns = int(costs.pte_bulk_share_ns)
+
+        # MAP_SHARED memory: same frames, by design (§3.7)
+        position = 0
+        nshm = len(shm_items)
+        while position < nshm:
+            vpn, _frame, perms_int, _cow, _note = shm_items[position]
+            end = position + 1
+            while end < nshm and \
+                    shm_items[end][0] == vpn + (end - position) and \
+                    shm_items[end][2] == perms_int:
+                end += 1
+            space.map_run(vpn + delta_pages,
+                          [item[1] for item in shm_items[position:end]],
+                          PagePerm(perms_int), incref=True)
+            position = end
+        if nshm:
+            machine.charge(bulk_ns * nshm, "fork_map")
+
+        # eager / full copies: batch-copy the frames, relocate, then
+        # map the child runs at the original (pre-share) permissions
+        ncopy = len(copy_items)
+        if ncopy:
+            src_numbers = [item[1] for item in copy_items]
+            dsts = phys.copy_frames(src_numbers, preserve_tags=True)
+            relocate_copied_frames(machine, phys, src_numbers, dsts,
+                                   regions)
+            position = 0
+            while position < ncopy:
+                vpn, _frame, perms_int, _cow, note = copy_items[position]
+                orig = int(note.orig_perms) if isinstance(note, ShareNote) \
+                    else perms_int
+                end = position + 1
+                while end < ncopy:
+                    nvpn, _nframe, nperms, _ncow, nnote = copy_items[end]
+                    if nvpn != vpn + (end - position):
+                        break
+                    norig = int(nnote.orig_perms) \
+                        if isinstance(nnote, ShareNote) else nperms
+                    if norig != orig:
+                        break
+                    end += 1
+                space.map_run(vpn + delta_pages, dsts[position:end],
+                              PagePerm(orig))
+                position = end
+            machine.charge(bulk_ns * ncopy, "fork_map")
+            machine.counters.add("fork_page_copies", ncopy)
+            obs = machine.obs
+            if obs.enabled:
+                obs.count("core.strategies.eager_page_copies", ncopy)
+                obs.count("trace.fork_page_copy", ncopy)
+
+        if share_items:
+            setup_shared_pages(space, share_items, delta_pages, strategy,
+                               regions, newly_shared)
+        return True
+
     def _undo_fork_pages(self, child: Process, newly_shared: List[Any]) -> None:
         """Rollback of the page-duplication phase: unmap every page the
         aborted fork mapped into the child's region (dropping its frame
         references) and restore original permissions on parent pages it
-        write-protected."""
+        write-protected.  ``newly_shared`` holds parent vpns (bulk
+        path) or live PTEs (per-page path)."""
         page = self.machine.config.page_size
-        for vpn in range(child.region_base // page,
-                         child.region_top // page):
-            if self.space.page_table.get(vpn) is not None:
-                self.space.unmap_page(vpn)
-        for pte in newly_shared:
-            if isinstance(pte.note, ShareNote):
-                pte.perms = pte.note.orig_perms
-                pte.note = None
+        self.space.unmap_range(child.region_base // page,
+                               child.region_top // page)
+        for entry in newly_shared:
+            if isinstance(entry, int):
+                note = self.space.note_of(entry)
+                if isinstance(note, ShareNote):
+                    self.space.protect_page(entry, note.orig_perms)
+                    self.space.set_note(entry, None)
+            elif isinstance(entry.note, ShareNote):
+                entry.perms = entry.note.orig_perms
+                entry.note = None
 
     def _eager_vpns(self, proc: Process) -> Set[int]:
         """Pages copied proactively at fork: GOT + allocator metadata
@@ -409,9 +536,8 @@ class UForkOS(AbstractOS):
         page = machine.config.page_size
         self._demand_zero.pop(proc.pid, None)
         machine.charge(machine.costs.uexit_ns, "exit")
-        for vpn in range(proc.region_base // page, proc.region_top // page):
-            if self.space.page_table.get(vpn) is not None:
-                self.space.unmap_page(vpn)
+        self.space.unmap_range(proc.region_base // page,
+                               proc.region_top // page)
         self.vspace.release(proc.region_base)
 
     # ------------------------------------------------------------------

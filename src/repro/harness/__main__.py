@@ -174,6 +174,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             "fork_full_copy, fault_storm, "
                             "pipe_pingpong, conform_explorer, "
                             "snapshot_restore)")
+    bench.add_argument("--diff", metavar="PATH", default=None,
+                       help="with --check, also write a before/after "
+                            "diff of the two reports (per benchmark: "
+                            "previous vs current host times and the "
+                            "speedup delta) — CI uploads this as the "
+                            "review artifact")
     bench.add_argument("--check", metavar="BASELINE", default=None,
                        help="also gate against a previous report at "
                             "this path (>25%% slowdown on any "
@@ -346,7 +352,12 @@ def _cmd_smp(args) -> int:
 
 def _cmd_bench(args) -> int:
     from repro.harness.reportio import load_report, write_report
-    from repro.perf.bench import MAX_RATIO, check_gate, run_benchmarks
+    from repro.perf.bench import (
+        CROSS_RUN_RATIO,
+        check_gate,
+        diff_reports,
+        run_benchmarks,
+    )
 
     report = run_benchmarks(names=args.only)
     failures = check_gate(report)
@@ -357,11 +368,14 @@ def _cmd_bench(args) -> int:
         for row in report["benchmarks"]:
             before = prior.get(row["name"])
             now = row["host"]["optimized_s"]
-            if before is not None and now > before * MAX_RATIO:
+            if before is not None and now > before * CROSS_RUN_RATIO:
                 failures.append(
                     f"{row['name']}: optimized {now:.3f}s regressed "
-                    f">{MAX_RATIO}x vs previous report "
+                    f">{CROSS_RUN_RATIO}x vs previous report "
                     f"({before:.3f}s in {args.check})")
+        if args.diff:
+            write_report(diff_reports(previous, report), args.diff)
+            print(f"[wrote {args.diff}]")
     path = args.json or BENCH_REPORT
     write_report(report, path)
     print(f"[wrote {path}]")

@@ -15,9 +15,12 @@ and the top-level ``host_meta`` object; everything else is a pure
 function of the seed, so two runs are byte-identical modulo those
 fields (tests/test_bench.py checks exactly this).
 
-CI gate: :func:`check_gate` fails when the optimised run is more than
-``max_ratio`` × the baseline on any benchmark (a perf *regression*
-guard — speedups are recorded, slowdowns break the build).
+CI gate: :func:`check_gate` fails when the optimised run exceeds
+``max_ratio`` × the baseline on any benchmark.  With the vectorized
+engine the bound is below 1: the optimised path must actually *beat*
+the self-contained baseline on every benchmark, not merely avoid
+regressing (current ratios run 0.19–0.75; the bound leaves noise
+margin over the weakest).
 """
 
 from __future__ import annotations
@@ -34,8 +37,15 @@ from repro import perf as _perf
 SCHEMA = "repro.perf/v1"
 
 #: CI regression bound: optimised wall time may not exceed
-#: ``baseline * MAX_RATIO``
-MAX_RATIO = 1.25
+#: ``baseline * MAX_RATIO`` — below 1.0, so the vectorized engine must
+#: beat the self-contained baseline outright on every benchmark
+MAX_RATIO = 0.90
+
+#: cross-*run* drift bound for ``bench --check``: today's optimised
+#: time may not exceed ``CROSS_RUN_RATIO`` × a previous report's.
+#: Separate from (and looser than) :data:`MAX_RATIO`, which compares
+#: within one run on one machine and so tolerates no machine noise.
+CROSS_RUN_RATIO = 1.5
 
 
 # ---------------------------------------------------------------------------
@@ -103,20 +113,18 @@ def _bench_fault_storm(rounds: int = 6, pages: int = 192,
     seed_bytes = b"\xA5" * 64
     dirty_bytes = b"\x5A" * 64
     burst_bytes = b"\x3C" * 64
-    # the driver loop is deliberately minimal (hoisted bound method,
-    # precomputed offsets, positional args) so the measurement is the
-    # simulator's per-store cost, not the benchmark harness's
-    store = parent.store
+    # the driver uses the guest batch primitive (store_run) so the
+    # measurement is the simulator's per-store cost, not the benchmark
+    # harness's; with perf disabled store_run degrades to the plain
+    # per-store loop, keeping both modes on the same simulated stream
+    store_run = parent.store_run
     offsets = [index * page for index in range(pages)]
-    for offset in offsets:
-        store(buf, seed_bytes, offset)
+    store_run(buf, seed_bytes, offsets)
     for _ in range(rounds):
         child = parent.fork()
-        for offset in offsets:
-            store(buf, dirty_bytes, offset)
+        store_run(buf, dirty_bytes, offsets)
         for _ in range(rewrites):
-            for offset in offsets:
-                store(buf, burst_bytes, offset)
+            store_run(buf, burst_bytes, offsets)
         child.exit(0)
         parent.wait(child.pid)
     return os_.machine.clock.now_ns, {
@@ -305,6 +313,38 @@ def check_gate(report: Dict[str, Any],
                 f"exceeds baseline {host['baseline_s']:.3f}s "
                 f"x {max_ratio}")
     return failures
+
+
+def diff_reports(before: Dict[str, Any],
+                 after: Dict[str, Any]) -> Dict[str, Any]:
+    """Per-benchmark before/after host-time comparison of two reports.
+
+    The CI bench job uploads this as its review artifact: for every
+    benchmark present in either report it records both runs' host
+    times and the speedup delta, so a PR's effect on the hot paths is
+    readable without re-running anything.  Benchmarks present on only
+    one side are kept with the other side ``None`` (added/removed
+    benchmarks are part of the diff, not an error).
+    """
+    prior = {row["name"]: row for row in before.get("benchmarks", [])}
+    current = {row["name"]: row for row in after.get("benchmarks", [])}
+    names = list(dict.fromkeys([*prior, *current]))
+    rows = []
+    for name in names:
+        old = prior.get(name)
+        new = current.get(name)
+        row: Dict[str, Any] = {
+            "name": name,
+            "before": None if old is None else dict(old["host"]),
+            "after": None if new is None else dict(new["host"]),
+        }
+        if old is not None and new is not None:
+            row["speedup_delta"] = round(
+                new["host"]["speedup"] - old["host"]["speedup"], 3)
+            row["optimized_ratio"] = round(
+                new["host"]["optimized_s"] / old["host"]["optimized_s"], 3)
+        rows.append(row)
+    return {"schema": "repro.perf.diff/v1", "benchmarks": rows}
 
 
 def write_report(report: Dict[str, Any], path: str) -> None:

@@ -102,16 +102,16 @@ def audit_cap_flow(os_: Any) -> List[str]:
         space = os_.space_of(proc)
         base, top = proc.region_base, proc.region_top
         shm_vpns = getattr(proc, "shm_vpns", set())
-        for vpn in range(base // page, top // page):
-            pte = space.page_table.get(vpn)
-            if pte is None or vpn in shm_vpns:
+        for vpn, frame_no, _perms, _cow, raw_note in \
+                space.mapped_items(base // page, top // page):
+            if vpn in shm_vpns:
                 continue
-            note = pte.note if isinstance(pte.note, ShareNote) else None
+            note = raw_note if isinstance(raw_note, ShareNote) else None
             if note is not None:
                 lo, hi = note.regions.parent_base, note.regions.parent_top
             else:
                 lo, hi = base, top
-            frame = machine.phys.frame(pte.frame)
+            frame = machine.phys.frame(frame_no)
             for offset in frame.tagged_granules():
                 cap = frame.load_cap(offset, machine.codec)
                 _audit_cap(os_, proc, cap, f"vpn {vpn:#x}+{offset:#x}",

@@ -73,34 +73,27 @@ def checkpoint(os: Any, proc: Process, *, incremental: bool = False) -> bytes:
     lo = proc.region_base // page
     hi = proc.region_top // page
     if incremental:
-        keep = {
-            vpn for vpn in range(lo, hi)
-            if (pte := space.page_table.get(vpn)) is not None
-            and machine.phys.refcount(pte.frame) == 1
-        }
+        # CoW-divergent pages only: frames this process maps alone
+        items = [item for item in space.mapped_items(lo, hi)
+                 if machine.phys.refcount(item[1]) == 1]
     else:
         resolve_all_pending(space, proc.region_base, proc.region_top)
-        keep = None
+        items = space.mapped_items(lo, hi)
 
     pages: List[Dict[str, Any]] = []
     payload = bytearray()
-    for vpn in range(lo, hi):
-        pte = space.page_table.get(vpn)
-        if pte is None:
-            continue  # demand areas (mmap window, demand-zero heap tail)
-        if keep is not None and vpn not in keep:
-            continue
+    for vpn, frame_no, perms_int, cow, note in items:
         machine.charge(machine.costs.page_scan_ns(page, config.granule),
                        "snapshot_scan")
-        frame = machine.phys.frame(pte.frame)
+        frame = machine.phys.frame(frame_no)
         # record the *logical* permissions: what the page grants once
         # any fork-sharing (ShareNote) or classic CoW resolves
-        if isinstance(pte.note, ShareNote):
-            perms = pte.note.orig_perms
-        elif pte.cow:
-            perms = pte.perms | PagePerm.WRITE
+        if isinstance(note, ShareNote):
+            perms = note.orig_perms
+        elif cow:
+            perms = PagePerm(perms_int) | PagePerm.WRITE
         else:
-            perms = pte.perms
+            perms = PagePerm(perms_int)
         caps = []
         for offset in frame.tagged_granules():
             cap = frame.load_cap(offset, machine.codec)
@@ -478,7 +471,7 @@ def _restore_phases(os: Any, manifest: Dict[str, Any], payload: memoryview,
 
 def _undo_restore_pages(space: AddressSpace, mapped: List[int]) -> None:
     for vpn in mapped:
-        if space.page_table.get(vpn) is not None:
+        if vpn in space.page_table:
             space.unmap_page(vpn)
 
 
@@ -576,7 +569,7 @@ def restore_into(os: Any, proc: Process, blob: bytes) -> int:
         data = bytes(payload[offset:offset + page])
         offset += page
         vpn = entry["vpn"] + delta_pages
-        if space.page_table.get(vpn) is not None:
+        if vpn in space.page_table:
             # drop the target's page (a zygote-shared frame simply loses
             # one reference; the zygote side's ShareNote self-heals)
             space.unmap_page(vpn)

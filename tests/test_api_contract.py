@@ -51,7 +51,23 @@ class TestSurface:
             "seed": 7,
             "obs": False,
             "chaos": None,
+            "perf": None,
         }
+
+    def test_perf_knob_pins_representation(self):
+        # tri-state: True/False force a representation, None (default)
+        # follows the REPRO_PERF environment resolution
+        from repro import perf as _perf
+        fast = Session(seed=7, perf=True).boot()
+        slow = Session(seed=7, perf=False).boot()
+        env = Session(seed=7).boot()
+        assert fast.machine.perf is True
+        assert slow.machine.perf is False
+        assert env.machine.perf is _perf.enabled()
+        # the knob reaches the storage layer: flat banked frames only
+        # under the vectorized engine
+        assert fast.machine.phys._perf is True
+        assert slow.machine.phys._perf is False
 
     def test_session_method_signatures(self):
         spawn = inspect.signature(Session.spawn).parameters

@@ -109,8 +109,15 @@ class TestCheckGate:
         }]}
 
     def test_passes_within_ratio(self):
-        assert bench.check_gate(self._report(1.0, 1.2)) == []
+        assert bench.check_gate(self._report(1.0, 0.85)) == []
         assert bench.check_gate(self._report(1.0, 0.4)) == []
+
+    def test_gate_requires_outright_speedup(self):
+        # MAX_RATIO < 1: merely matching the baseline now fails
+        assert bench.MAX_RATIO < 1.0
+        failures = bench.check_gate(self._report(1.0, 1.0))
+        assert len(failures) == 1
+        assert "synthetic" in failures[0]
 
     def test_fails_beyond_ratio(self):
         failures = bench.check_gate(self._report(1.0, 1.3))
@@ -120,6 +127,41 @@ class TestCheckGate:
     def test_custom_ratio(self):
         assert bench.check_gate(self._report(1.0, 1.05),
                                 max_ratio=1.01) != []
+
+    def test_cross_run_ratio_is_looser_than_gate(self):
+        # run-to-run drift (different machines, different load) needs
+        # headroom the within-run gate must not have
+        assert bench.CROSS_RUN_RATIO > 1.0 > bench.MAX_RATIO
+
+
+class TestDiffReports:
+    @staticmethod
+    def _report(name, baseline_s, optimized_s):
+        return {"schema": bench.SCHEMA, "benchmarks": [{
+            "name": name, "config": {}, "invariant": 1,
+            "host": {"baseline_s": baseline_s,
+                     "optimized_s": optimized_s,
+                     "speedup": round(baseline_s / optimized_s, 3)},
+        }]}
+
+    def test_pairs_by_name(self):
+        diff = bench.diff_reports(self._report("a", 1.0, 0.5),
+                                  self._report("a", 1.0, 0.25))
+        assert diff["schema"] == "repro.perf.diff/v1"
+        (row,) = diff["benchmarks"]
+        assert row["name"] == "a"
+        assert row["before"]["optimized_s"] == 0.5
+        assert row["after"]["optimized_s"] == 0.25
+        assert row["speedup_delta"] == 2.0
+        assert row["optimized_ratio"] == 0.5
+
+    def test_added_and_removed_benchmarks_survive(self):
+        diff = bench.diff_reports(self._report("old", 1.0, 0.5),
+                                  self._report("new", 1.0, 0.5))
+        rows = {row["name"]: row for row in diff["benchmarks"]}
+        assert rows["old"]["after"] is None
+        assert rows["new"]["before"] is None
+        assert "speedup_delta" not in rows["old"]
 
 
 class TestCrossModeInvariant:

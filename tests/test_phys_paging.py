@@ -151,6 +151,63 @@ class TestPhysicalMemory:
         assert machine.clock.now_ns - before == int(machine.costs.page_zero_ns)
 
 
+class TestFrameNumberChurn:
+    """Frame numbers are never double-issued, whatever the free/alloc
+    interleaving — a regression net over the free list, the deferred
+    scrub set and the frame-object pool, which all key on numbers."""
+
+    @pytest.mark.parametrize("perf", [False, True])
+    def test_heavy_churn_never_double_issues(self, perf):
+        import random
+
+        machine = Machine(seed=1, perf=perf)
+        phys = machine.phys
+        rng = random.Random(20250808)
+        live = {}  # number -> remaining references we hold
+        for step in range(2000):
+            action = rng.randrange(6)
+            if action <= 1 or not live:
+                number = phys.alloc(zero=bool(step % 2), charge=False)
+                assert number not in live, \
+                    f"step {step}: frame {number} double-issued"
+                live[number] = 1
+            elif action == 2:
+                src = rng.choice(list(live))
+                dst = phys.cow_copy(src)
+                assert dst not in live, \
+                    f"step {step}: cow_copy double-issued {dst}"
+                live[dst] = 1
+            elif action == 3:
+                srcs = rng.sample(list(live), min(len(live), 4))
+                dsts = phys.copy_frames(srcs, preserve_tags=True,
+                                        charge=False)
+                for dst in dsts:
+                    assert dst not in live, \
+                        f"step {step}: copy_frames double-issued {dst}"
+                    live[dst] = 1
+            elif action == 4:
+                number = rng.choice(list(live))
+                if rng.randrange(2):
+                    phys.incref(number)
+                    live[number] += 1
+                else:
+                    phys.decref(number)
+                    live[number] -= 1
+                    if not live[number]:
+                        del live[number]
+            else:
+                batch = rng.sample(list(live), min(len(live), 8))
+                phys.decref_many(batch)
+                for number in batch:
+                    live[number] -= 1
+                    if not live[number]:
+                        del live[number]
+            # the live view and the pool agree at every step
+            assert set(live) == {
+                number for number in live if phys.contains(number)}
+        assert phys.allocated_frames == len(live)
+
+
 class TestAddressSpace:
     PAGE = 4096
 

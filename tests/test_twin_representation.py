@@ -1,0 +1,139 @@
+"""Property suite: both storage representations are one simulator.
+
+The vectorized engine (``REPRO_PERF=1`` / ``Session(perf=True)``: flat
+banked frames, batched charges, the bulk CoW-break hook) and the
+self-contained per-page representation must be *byte-identical* in
+every simulated observable — clock, attribution buckets, event
+counters, page bytes, granule tags, refcounts and permissions — for
+any interleaving of map/unmap (malloc + exit teardown), fork, CoW
+break (parent and child stores, single and batched runs) and
+tag-store/tag-clear traffic.
+
+Hypothesis drives random operation sequences through the public
+facade against a ``perf=False`` and a ``perf=True`` session and
+compares full end states.  Shrinking then hands back the minimal
+divergent sequence, which makes representation bugs unusually cheap
+to debug.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.api import Session
+
+PAGE = 4096
+PAGES = 4  # per-process scratch buffer driven by the operations
+MAX_PROCS = 4
+
+_op = st.one_of(
+    st.tuples(st.just("store"), st.integers(0, MAX_PROCS - 1),
+              st.integers(0, PAGES - 1), st.integers(0, 255),
+              st.integers(0, 15)),
+    st.tuples(st.just("store_run"), st.integers(0, MAX_PROCS - 1),
+              st.integers(0, 255)),
+    st.tuples(st.just("store_cap"), st.integers(0, MAX_PROCS - 1),
+              st.integers(0, PAGES - 1), st.integers(0, 15)),
+    st.tuples(st.just("map"), st.integers(0, MAX_PROCS - 1)),
+    st.tuples(st.just("fork")),
+    st.tuples(st.just("exit")),
+)
+
+
+def _run_ops(sim, ops):
+    """Apply ``ops``; return the live contexts and any (index, error)
+    pairs — errors must occur identically in both representations."""
+    root = sim.spawn(name="root")
+    root.set_reg("c19", root.malloc(PAGES * PAGE))
+    stack = [root]
+    errors = []
+    for index, op in enumerate(ops):
+        kind = op[0]
+        try:
+            if kind == "fork":
+                if len(stack) < MAX_PROCS:
+                    stack.append(stack[-1].fork())
+            elif kind == "exit":
+                if len(stack) > 1:
+                    dying = stack.pop()
+                    parent = stack[-1]
+                    dying.exit(0)
+                    parent.wait(dying.proc.pid)
+            elif kind == "map":
+                stack[op[1] % len(stack)].malloc(PAGE)
+            else:
+                ctx = stack[op[1] % len(stack)]
+                cap = ctx.reg("c19")
+                if kind == "store":
+                    ctx.store(cap, bytes([op[3]]),
+                              offset=op[2] * PAGE + op[4] * 16)
+                elif kind == "store_run":
+                    ctx.store_run(cap, bytes([op[2]] * 16),
+                                  [page * PAGE for page in range(PAGES)])
+                elif kind == "store_cap":
+                    ctx.store_cap(cap, cap.add(op[3]),
+                                  offset=op[2] * PAGE + op[3] * 16)
+        except Exception as exc:  # noqa: BLE001 - must match across reprs
+            errors.append((index, type(exc).__name__, str(exc)))
+    return stack, errors
+
+
+def _drive(perf, strategy, ops):
+    """Run ``ops`` in a fresh session; return every simulated observable."""
+    sim = Session(strategy=strategy, seed=5, perf=perf).boot()
+    stack, errors = _run_ops(sim, ops)
+    machine = sim.machine
+    dumps = []
+    for ctx in stack:
+        space = ctx.space
+        lo = ctx.proc.region_base // PAGE
+        hi = (ctx.proc.region_top + PAGE - 1) // PAGE
+        pages = []
+        for vpn, frame, perms_int, cow, _note in space.mapped_items(lo, hi):
+            frame_obj = machine.phys.frame(frame)
+            pages.append((vpn - lo, perms_int, bool(cow),
+                          machine.phys.refcount(frame),
+                          frame_obj.read(0, PAGE),
+                          tuple(frame_obj.tagged_granules())))
+        dumps.append(pages)
+    return {
+        "errors": errors,
+        "now_ns": machine.clock.now_ns,
+        "buckets": dict(machine.clock.buckets),
+        "counters": machine.counters.snapshot(),
+        "allocated_frames": machine.phys.allocated_frames,
+        "dumps": dumps,
+    }
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.filter_too_much])
+@given(strategy=st.sampled_from(["full", "coa", "copa"]),
+       ops=st.lists(_op, max_size=24))
+def test_representations_are_byte_identical(strategy, ops):
+    base = _drive(False, strategy, ops)
+    fast = _drive(True, strategy, ops)
+    assert base == fast
+
+
+class _Recorder:
+    def __init__(self):
+        self.events = []
+
+    def record(self, event, **fields):
+        self.events.append((event, tuple(sorted(fields.items()))))
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=st.lists(_op, max_size=16))
+def test_traced_runs_emit_identical_event_streams(ops):
+    """With a tracer attached the engines must also agree on the
+    *ordered* event stream, not just the aggregate state."""
+    streams = []
+    for perf in (False, True):
+        sim = Session(strategy="copa", seed=5, perf=perf).boot()
+        recorder = _Recorder()
+        sim.machine.tracer = recorder
+        _run_ops(sim, ops)
+        streams.append(recorder.events)
+    assert streams[0] == streams[1]
